@@ -1,0 +1,66 @@
+"""Bench: the extension ablations (encodings, codecs, buffer policies)."""
+
+from conftest import QUICK
+
+
+def test_ablation_encodings(run_experiment_benchmark):
+    results = run_experiment_benchmark("ablation_encodings", quick=QUICK)
+    for result in results:
+        interval_rows = [row for row in result.rows if row[0] == "interval"]
+        range_rows = [row for row in result.rows if row[0] == "range"]
+        assert interval_rows and range_rows
+        # The 1999 scheme's headline: the single-component interval index
+        # stores about half of range encoding's bitmaps.
+        i1 = next(r for r in interval_rows if "," not in r[1])
+        r1 = next(r for r in range_rows if "," not in r[1])
+        assert i1[2] <= (r1[2] + 1) // 2 + 1
+
+
+def test_ablation_codecs(run_experiment_benchmark):
+    (result,) = run_experiment_benchmark("ablation_codecs", quick=QUICK)
+    ratios = {(row[0], row[1]): row[3] for row in result.rows}
+    # Deflate beats WAH on uniform data; both collapse on sorted data.
+    assert ratios[("uniform", "zlib")] < ratios[("uniform", "wah")]
+    assert ratios[("sorted", "zlib")] < 10
+    assert ratios[("sorted", "wah")] < 10
+    # Run-structured data compresses far better than random data.
+    assert ratios[("clustered", "wah")] < ratios[("uniform", "wah")]
+
+
+def test_ablation_updates(run_experiment_benchmark):
+    (result,) = run_experiment_benchmark("ablation_updates", quick=QUICK)
+    rows = {(row[0], row[2]): row[4] for row in result.rows}
+    # The Value-List index updates like a RID list (~2 touches)...
+    assert rows[(1, "equality")] <= 2.5
+    # ...while single-component range encoding pays ~b/3 touches.
+    assert rows[(1, "range")] > 5 * rows[(1, "equality")]
+    # Decomposition shrinks update cost.
+    assert rows[(3, "range")] < rows[(1, "range")]
+
+
+def test_ablation_query_skew(run_experiment_benchmark):
+    (result,) = run_experiment_benchmark("ablation_query_skew", quick=QUICK)
+    # The knee chosen under the uniform model stays near-optimal under
+    # every tested constant skew.
+    for row in result.rows:
+        assert row[4] <= 10.0
+
+
+def test_ablation_compressed_ops(run_experiment_benchmark):
+    (result,) = run_experiment_benchmark("ablation_compressed_ops", quick=QUICK)
+    by_name = {row[0]: row for row in result.rows}
+    # Compressed-domain algebra pays off exactly where runs exist.
+    assert by_name["sorted"][2] < by_name["sorted"][3]
+    assert by_name["sorted"][1] < by_name["uniform"][1]
+    assert all(row[5] == "yes" for row in result.rows)
+
+
+def test_ablation_buffering(run_experiment_benchmark):
+    (result,) = run_experiment_benchmark("ablation_buffering", quick=QUICK)
+    for row in result.rows:
+        m, pinned, lru, model, _ = row
+        # The pinned measurement tracks Eq. 5 closely.
+        assert abs(pinned - model) <= 0.25
+    # Pinned-optimal matches or beats LRU on most buffer sizes.
+    wins = sum(1 for row in result.rows if row[4] == "yes")
+    assert wins >= len(result.rows) - 1

@@ -1,0 +1,15 @@
+"""Bench: regenerate the Section 1 bitmap vs RID-list crossover."""
+
+from conftest import QUICK
+
+
+def test_crossover(run_experiment_benchmark):
+    (result,) = run_experiment_benchmark("crossover", quick=QUICK)
+    # The empirical crossover lands within one percentage point of 1/32.
+    note = result.notes[0]
+    observed = float(note.rsplit(" ", 1)[1])
+    assert abs(observed - 1 / 32) <= 0.01
+    # Low-selectivity rows favour RID lists; high-selectivity rows favour
+    # bitmaps.
+    assert result.rows[0][4] == "rid-list"
+    assert result.rows[-1][4] == "bitmap"

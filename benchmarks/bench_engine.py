@@ -1,0 +1,140 @@
+"""Microbenchmarks of the library's engine-level operations.
+
+Unlike the ``bench_<table|fig>`` files, which regenerate the paper's
+artifacts, these measure the substrate itself: bitvector logic, popcount,
+index construction, single-query latency, codecs, and bit-sliced
+aggregation.  They use pytest-benchmark's normal multi-round mode.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bitmaps.bitvector import BitVector
+from repro.bitmaps.compression import get_codec
+from repro.core.aggregation import BitSlicedAggregator
+from repro.core.decomposition import Base
+from repro.core.evaluation import Predicate, evaluate
+from repro.core.index import BitmapIndex
+from repro.workloads.generators import clustered_values, uniform_values
+
+NBITS = 1_000_000
+
+
+@pytest.fixture(scope="module")
+def vectors():
+    rng = np.random.default_rng(0)
+    a = BitVector.from_bools(rng.random(NBITS) < 0.5)
+    b = BitVector.from_bools(rng.random(NBITS) < 0.5)
+    return a, b
+
+
+@pytest.fixture(scope="module")
+def column():
+    return uniform_values(200_000, 100, seed=3)
+
+
+@pytest.fixture(scope="module")
+def knee_index(column):
+    return BitmapIndex(column, 100, Base((10, 10)))
+
+
+def test_bitvector_and(benchmark, vectors):
+    a, b = vectors
+    result = benchmark(lambda: a & b)
+    assert result.nbits == NBITS
+
+
+def test_bitvector_popcount(benchmark, vectors):
+    a, _ = vectors
+    count = benchmark(a.count)
+    assert 0 < count < NBITS
+
+
+def test_bitvector_not(benchmark, vectors):
+    a, _ = vectors
+    result = benchmark(lambda: ~a)
+    assert result.count() == NBITS - a.count()
+
+
+def test_index_build_knee(benchmark, column):
+    index = benchmark(lambda: BitmapIndex(column, 100, Base((10, 10))))
+    assert index.num_bitmaps == 18
+
+
+def test_index_build_bit_sliced(benchmark, column):
+    index = benchmark(lambda: BitmapIndex(column, 100))
+    assert index.num_bitmaps == 99
+
+
+def test_query_latency_range_eval_opt(benchmark, knee_index):
+    predicate = Predicate("<=", 55)
+    result = benchmark(lambda: evaluate(knee_index, predicate))
+    assert result.count() > 0
+
+
+def test_query_latency_equality_predicate(benchmark, knee_index):
+    predicate = Predicate("=", 55)
+    result = benchmark(lambda: evaluate(knee_index, predicate))
+    assert result.count() > 0
+
+
+@pytest.mark.parametrize("codec_name", ["zlib", "wah"])
+def test_codec_encode_clustered(benchmark, codec_name):
+    values = clustered_values(200_000, 100, run_length=64, seed=1)
+    bitmap = BitVector.from_bools(values <= 50)
+    codec = get_codec(codec_name)
+    payload = bitmap.to_bytes()
+    encoded = benchmark(lambda: codec.encode(payload))
+    assert codec.decode(encoded) == payload
+
+
+@pytest.mark.parametrize("codec_name", ["zlib", "wah"])
+def test_codec_decode_clustered(benchmark, codec_name):
+    values = clustered_values(200_000, 100, run_length=64, seed=1)
+    bitmap = BitVector.from_bools(values <= 50)
+    codec = get_codec(codec_name)
+    encoded = codec.encode(bitmap.to_bytes())
+    decoded = benchmark(lambda: codec.decode(encoded))
+    assert decoded == bitmap.to_bytes()
+
+
+def test_bit_sliced_sum(benchmark, column):
+    aggregator = BitSlicedAggregator.from_values(column)
+    foundset = BitVector.from_bools(column <= 50)
+    total = benchmark(lambda: aggregator.sum(foundset))
+    assert total == int(column[column <= 50].sum())
+
+
+def test_maintenance_update(benchmark, column):
+    index = BitmapIndex(column, 100, Base((10, 10)))
+    state = {"rid": 0, "value": 0}
+
+    def one_update():
+        index.update(state["rid"], state["value"])
+        state["rid"] = (state["rid"] + 7919) % index.nbits
+        state["value"] = (state["value"] + 13) % 100
+
+    benchmark(one_update)
+
+
+def test_maintenance_append_batch(benchmark):
+    values = uniform_values(50_000, 100, seed=9)
+    extra = uniform_values(1_000, 100, seed=10)
+
+    def append_batch():
+        index = BitmapIndex(values, 100, Base((10, 10)), keep_values=False)
+        index.append(extra)
+        return index
+
+    index = benchmark.pedantic(append_batch, rounds=5, iterations=1)
+    assert index.nbits == 51_000
+
+
+def test_compressed_domain_and_sorted(benchmark):
+    from repro.bitmaps.compressed import WahBitVector
+
+    values = np.sort(uniform_values(500_000, 100, seed=2))
+    a = WahBitVector.from_bitvector(BitVector.from_bools(values <= 40))
+    b = WahBitVector.from_bitvector(BitVector.from_bools(values <= 70))
+    result = benchmark(lambda: a & b)
+    assert result.count() == int((values <= 40).sum())

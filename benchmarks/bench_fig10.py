@@ -1,0 +1,13 @@
+"""Bench: regenerate Figure 10 (families vs the full design cloud)."""
+
+from conftest import QUICK
+
+
+def test_fig10(run_experiment_benchmark):
+    (result,) = run_experiment_benchmark("fig10", quick=QUICK)
+    families = {row[0] for row in result.rows}
+    assert families == {"space-optimal", "time-optimal", "pareto(all)"}
+    # The space-optimal family approximates the overall front.
+    note = next(n for n in result.notes if "space-optimal family" in n)
+    covered, total = note.split()[0].split("/")
+    assert int(covered) >= int(total) / 2

@@ -1,0 +1,13 @@
+"""Bench: regenerate Figure 11 (the knee of the space-optimal graph)."""
+
+from conftest import QUICK
+
+
+def test_fig11(run_experiment_benchmark):
+    (result,) = run_experiment_benchmark("fig11", quick=QUICK)
+    knee_rows = [row for row in result.rows if row[4]]
+    assert len(knee_rows) == 1
+    # The paper's observation: the knee is the 2-component index, and the
+    # definition-based knee coincides with the Theorem 7.1 formula.
+    assert knee_rows[0][0] == 2
+    assert any("matches" in note for note in result.notes)

@@ -1,0 +1,17 @@
+"""Bench: regenerate Figure 14 (candidate-set size vs space budget)."""
+
+from conftest import QUICK
+
+
+def test_fig14(run_experiment_benchmark):
+    (result,) = run_experiment_benchmark("fig14", quick=QUICK)
+    sizes = [row[1] for row in result.rows]
+    # Hump shape: a large middle, collapsing to 1 for generous budgets.
+    assert sizes[-1] == 1
+    assert max(sizes) > 50
+
+
+def test_fig13(run_experiment_benchmark):
+    (result,) = run_experiment_benchmark("fig13", quick=QUICK)
+    # Theorem 6.1's bounding argument: the optimum never escapes [n, n'].
+    assert all(row[6] == "yes" for row in result.rows)

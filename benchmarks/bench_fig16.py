@@ -1,0 +1,26 @@
+"""Bench: regenerate Figure 16 (time/space of BS, cBS, cCS)."""
+
+from conftest import QUICK
+
+
+def test_fig16(run_experiment_benchmark):
+    # Figure 16's effect (decompression dominating cCS) needs bitmaps big
+    # enough that transfer + inflate outweigh per-file seeks, so this bench
+    # always runs at the 60k-row scale; it is still fast (~1.5 s).
+    (result,) = run_experiment_benchmark("fig16", quick=QUICK, num_rows=60_000)
+    times = {(row[0], row[1]): row[3] for row in result.rows}
+    sizes = {(row[0], row[1]): row[2] for row in result.rows}
+    ns = sorted({row[0] for row in result.rows})
+
+    # Figure 16(b): cCS is the smallest configuration at every n.
+    for n in ns:
+        assert sizes[(n, "cCS")] <= sizes[(n, "BS")]
+        assert sizes[(n, "cCS")] <= sizes[(n, "cBS")] + 1
+
+    # Figure 16(a): under the era cost model, cCS is slower than BS for
+    # most component counts (they coincide once every base is 2), and BS
+    # and cBS stay comparable.
+    slower = sum(1 for n in ns if times[(n, "cCS")] >= times[(n, "BS")] - 1e-9)
+    assert slower >= len(ns) - 2
+    for n in ns:
+        assert abs(times[(n, "cBS")] - times[(n, "BS")]) <= 0.5 * times[(n, "BS")]

@@ -1,0 +1,15 @@
+"""Bench: regenerate Figure 17 (tradeoff under optimal buffering)."""
+
+from conftest import QUICK
+
+
+def test_fig17(run_experiment_benchmark):
+    (result,) = run_experiment_benchmark("fig17", quick=QUICK)
+    # The space-time tradeoff improves monotonically with buffer size m.
+    best_times = [row[2] for row in result.rows]
+    assert all(
+        best_times[i] >= best_times[i + 1] - 1e-12
+        for i in range(len(best_times) - 1)
+    )
+    # m = 0 row reproduces the unbuffered time-optimal single component.
+    assert result.rows[0][0] == 0

@@ -1,0 +1,17 @@
+"""Bench: regenerate Figure 8 (avg scans/ops vs base number, C=100)."""
+
+from conftest import QUICK
+
+
+def test_fig8(run_experiment_benchmark):
+    (result,) = run_experiment_benchmark("fig8", quick=QUICK)
+    # RangeEval-Opt dominates RangeEval on every base (Figure 8a/8b).
+    for row in result.rows:
+        _, _, scans_re, scans_opt, ops_re, ops_opt = row
+        assert scans_opt <= scans_re + 1e-9
+        assert ops_opt <= ops_re + 1e-9
+    # Multi-component region: roughly half the operations.
+    multi = [row for row in result.rows if row[1] >= 3]
+    assert multi
+    ratios = [row[5] / row[4] for row in multi]
+    assert sum(ratios) / len(ratios) < 0.75

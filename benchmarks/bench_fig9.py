@@ -1,0 +1,15 @@
+"""Bench: regenerate Figure 9 (range vs equality encoding tradeoff)."""
+
+from conftest import QUICK
+
+
+def test_fig9(run_experiment_benchmark):
+    results = run_experiment_benchmark("fig9", quick=QUICK)
+    assert len(results) >= 2  # one table per cardinality
+    for result in results:
+        # Range encoding matches-or-beats most of the equality front.
+        dominance_note = next(
+            n for n in result.notes if "matched-or-beaten" in n
+        )
+        covered, total = dominance_note.split()[0].split("/")
+        assert int(covered) >= 0.8 * int(total)

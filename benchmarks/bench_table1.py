@@ -1,0 +1,16 @@
+"""Bench: regenerate Table 1 (RangeEval vs RangeEval-Opt worst cases)."""
+
+from conftest import QUICK
+
+
+def test_table1(run_experiment_benchmark):
+    (result,) = run_experiment_benchmark("table1", quick=QUICK)
+    # Every measured worst case matches its closed-form expression.
+    assert all(row[-1] == "yes" for row in result.rows)
+    # The paper's headline: one fewer scan for range predicates.
+    by_key = {(row[0], row[1], row[2]): row for row in result.rows}
+    for n in {row[0] for row in result.rows}:
+        old = by_key[(n, "range_eval", "A <= c")]
+        new = by_key[(n, "range_eval_opt", "A <= c")]
+        assert new[9] == old[9] - 1  # scans
+        assert new[7] <= old[7]  # ops

@@ -1,0 +1,13 @@
+"""Bench: regenerate Table 2 (heuristic vs exact constrained search)."""
+
+from conftest import QUICK
+
+
+def test_table2(run_experiment_benchmark):
+    (result,) = run_experiment_benchmark("table2", quick=QUICK)
+    for row in result.rows:
+        cardinality, constraints, pct_optimal, max_gap = row
+        # The paper reports >= 97% optimal; allow a small margin since
+        # the swept constraint grid differs.
+        assert pct_optimal >= 95.0, cardinality
+        assert max_gap < 0.5

@@ -1,0 +1,11 @@
+"""Bench: regenerate Table 3 (experimental data characteristics)."""
+
+from conftest import QUICK
+
+
+def test_table3(run_experiment_benchmark):
+    (result,) = run_experiment_benchmark("table3", quick=QUICK)
+    by_name = {row[0]: row for row in result.rows}
+    assert by_name["data set 1"][4] == 50  # Lineitem.quantity
+    # Data set 2 approaches the full 2406 distinct order dates.
+    assert by_name["data set 2"][4] >= 2000

@@ -1,0 +1,14 @@
+"""Bench: regenerate Table 4 (compressibility of BS/CS/IS)."""
+
+from conftest import QUICK
+
+
+def test_table4(run_experiment_benchmark):
+    results = run_experiment_benchmark("table4", quick=QUICK)
+    assert len(results) == 2  # one per data set
+    for result in results:
+        # Paper: CS-indexes compress best, most dramatically at n = 1.
+        first = result.rows[0]
+        assert first[3] <= first[2]  # cCS% <= cBS% on one component
+        # Compression's benefit shrinks as the index is decomposed.
+        assert result.rows[-1][2] > result.rows[0][2]

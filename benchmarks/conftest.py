@@ -1,0 +1,52 @@
+"""Shared machinery for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one of the paper's tables or figures via
+``pytest-benchmark``.  Formatted result tables are printed and also saved
+under ``benchmarks/results/`` so they survive output capturing.
+
+Run everything with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+
+import pytest
+
+from repro.experiments.harness import ExperimentResult, format_table, save_results
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Set REPRO_BENCH_FULL=1 to run every benchmark at paper scale.
+QUICK = os.environ.get("REPRO_BENCH_FULL", "") == ""
+
+
+@pytest.fixture
+def run_experiment_benchmark(benchmark):
+    """Benchmark one experiment module and persist its tables.
+
+    Returns the list of :class:`ExperimentResult` the experiment produced.
+    Experiments run once (they are end-to-end reproductions, not
+    microbenchmarks); pytest-benchmark records the wall time.
+    """
+
+    def runner(exp_id: str, quick: bool = True, **params):
+        module = importlib.import_module(f"repro.experiments.{exp_id}")
+
+        def target():
+            outcome = module.run(quick=quick, **params)
+            if isinstance(outcome, ExperimentResult):
+                return [outcome]
+            return list(outcome)
+
+        results = benchmark.pedantic(target, rounds=1, iterations=1)
+        save_results(results, RESULTS_DIR)
+        for result in results:
+            print()
+            print(format_table(result))
+        return results
+
+    return runner

@@ -1,0 +1,70 @@
+"""Physical database design with the advisor.
+
+Scenario: a warehouse fact table has a ``customer_region`` dimension with
+1000 distinct values.  The DBA wants to know which bitmap index to build
+under different constraints — unlimited disk, a tight disk budget, and a
+machine with buffer memory to spare.  This walks the paper's four
+"interesting points" (Figure 2) through the advisor API.
+
+Run:  python examples/physical_design.py
+"""
+
+from __future__ import annotations
+
+from repro import recommend
+from repro.core import costmodel
+from repro.core.optimize import (
+    global_space_optimal_base,
+    global_time_optimal_base,
+    knee_base,
+)
+
+CARDINALITY = 1000
+
+
+def main() -> None:
+    print(f"designing a bitmap index for attribute cardinality C={CARDINALITY}\n")
+
+    # Point (D): the time-optimal index — fastest, huge.
+    fastest = recommend(CARDINALITY, objective="time")
+    print(f"(D) time-optimal:   {fastest}")
+
+    # Point (A): the space-optimal index — tiny, slowest.
+    smallest = recommend(CARDINALITY, objective="space")
+    print(f"(A) space-optimal:  {smallest}")
+
+    # Point (C): the knee — the sweet spot the paper recommends.
+    knee = recommend(CARDINALITY)
+    print(f"(C) knee:           {knee}")
+
+    # Point (B): the best index that fits a 40-bitmap disk budget.
+    constrained = recommend(CARDINALITY, space_budget=40, objective="time")
+    print(f"(B) within budget:  {constrained}")
+
+    print("\nhow much does the knee give up vs the extremes?")
+    d_time = costmodel.time_range(global_time_optimal_base(CARDINALITY))
+    a_space = costmodel.space_range(global_space_optimal_base(CARDINALITY))
+    k = knee_base(CARDINALITY)
+    print(f"  knee uses {costmodel.space_range(k)} bitmaps vs "
+          f"{costmodel.space_range(global_time_optimal_base(CARDINALITY))} "
+          f"for the time-optimal index "
+          f"({costmodel.space_range(k) / (CARDINALITY - 1):.1%} of the space)")
+    print(f"  knee answers in {costmodel.time_range(k):.2f} expected scans vs "
+          f"{d_time:.2f} for the time-optimal and "
+          f"{costmodel.time_range(global_space_optimal_base(CARDINALITY)):.2f} "
+          f"for the {a_space}-bitmap space-optimal index")
+
+    print("\nwith 8 bitmaps of buffer memory (Section 10):")
+    buffered = recommend(CARDINALITY, buffer_bitmaps=8)
+    print(f"  {buffered}")
+
+    print("\nsweeping the disk budget (Algorithm TimeOptHeur):")
+    for budget in (10, 15, 25, 40, 70, 120, 300):
+        design = recommend(CARDINALITY, space_budget=budget, objective="time")
+        print(f"  M={budget:4d} bitmaps -> base {str(design.base):28s} "
+              f"space={design.space_bitmaps:4d}  "
+              f"scans={design.expected_scans:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""The introduction's plan analysis, executed.
+
+Reproduces the paper's Section 1 scenario: a high-selectivity conjunctive
+selection over two attributes, evaluated as (P1) a full scan, (P2) one
+index plus a partial scan, and (P3) per-predicate index scans merged —
+with both RID-list and bitmap indexes — and shows the bitmap-vs-RID-list
+byte crossover at selectivity 1/32.
+
+Run:  python examples/query_plans.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.query.executor import bitmap_index_for, conjunctive_select
+from repro.query.plans import (
+    plan_p1_cost,
+    plan_p2_cost,
+    plan_p3_bitmap_cost,
+    plan_p3_ridlist_cost,
+    ridlist_crossover_selectivity,
+)
+from repro.query.predicate import parse_predicate
+from repro.relation.relation import Relation
+from repro.relation.rid_index import RIDListIndex
+
+NUM_ROWS = 50_000
+
+
+def build_relation() -> Relation:
+    rng = np.random.default_rng(99)
+    return Relation.from_dict(
+        "orders",
+        {
+            "priority": rng.integers(0, 5, NUM_ROWS),
+            "month": rng.integers(0, 12, NUM_ROWS),
+        },
+    )
+
+
+def main() -> None:
+    relation = build_relation()
+    pred_a = parse_predicate("priority <= 2")
+    pred_b = parse_predicate("month <= 7")
+    print(f"query: SELECT * FROM orders WHERE {pred_a} AND {pred_b}")
+    print(f"relation: N={relation.num_rows:,} rows, "
+          f"{relation.row_bytes} bytes/row\n")
+
+    indexes = {
+        "priority": bitmap_index_for(relation, "priority"),
+        "month": bitmap_index_for(relation, "month"),
+    }
+    result = conjunctive_select(relation, [pred_a, pred_b], indexes)
+    selectivity = result.count / relation.num_rows
+    print(f"result: {result.count:,} rows (selectivity {selectivity:.1%}) — "
+          f"a classic high-selectivity-factor DSS query\n")
+
+    rid_a = RIDListIndex(relation.column("priority").values)
+    rid_b = RIDListIndex(relation.column("month").values)
+    rows_a = len(rid_a.lookup(pred_a.op, pred_a.value))
+
+    p1 = plan_p1_cost(relation)
+    p2 = plan_p2_cost(relation, rid_a.bytes_for(pred_a.op, pred_a.value), rows_a)
+    p3_rid = plan_p3_ridlist_cost(
+        [rid_a, rid_b],
+        [(pred_a.op, pred_a.value), (pred_b.op, pred_b.value)],
+    )
+    p3_bitmap = plan_p3_bitmap_cost(relation.num_rows, 1)
+
+    print("plan costs (bytes read):")
+    for cost in (p1, p2, p3_rid, p3_bitmap):
+        print(f"  {cost}")
+    cheapest = min((p1, p2, p3_rid, p3_bitmap), key=lambda c: c.bytes_read)
+    print(f"\ncheapest: {cheapest.plan} — for large foundsets the bitmap "
+          f"plan reads only N/8 bytes per bitmap per predicate")
+
+    threshold = ridlist_crossover_selectivity()
+    print(f"\ncrossover: bitmaps beat RID lists once the result holds more "
+          f"than {threshold:.2%} of the rows (N <= 32 n);")
+    print(f"this query selects {selectivity:.1%}, far above the threshold.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""repro — a reproduction of *Bitmap Index Design and Evaluation*.
+
+Chan & Ioannidis, SIGMOD 1998.
+
+The library implements the paper's full design space of bitmap indexes for
+selection queries (attribute-value decomposition × equality/range
+encoding), the improved evaluation algorithm ``RangeEval-Opt``, the
+analytical space/time cost model, the space-/time-optimal and knee index
+characterizations, the space-constrained optimization algorithms, the
+storage/compression study (BS/CS/IS schemes), and the buffering analysis —
+plus the substrates they need: a packed bitvector engine, bitmap codecs, a
+simulated disk, a buffer pool, a miniature column store with the
+conventional RID-list baseline, and workload generators.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import BitmapIndex, Base, Predicate, evaluate
+>>> values = np.array([3, 2, 1, 2, 8, 2, 2, 0, 7, 5])  # paper Figure 1
+>>> index = BitmapIndex(values, cardinality=9, base=Base((3, 3)))
+>>> result = evaluate(index, Predicate("<=", 4))
+>>> sorted(result.iter_indices())
+[0, 1, 2, 3, 5, 6, 7]
+"""
+
+from repro.bitmaps import BitVector, get_codec
+from repro.core import (
+    Base,
+    BitmapIndex,
+    EncodingScheme,
+    Predicate,
+    equality_eval,
+    evaluate,
+    range_eval,
+    range_eval_opt,
+)
+from repro.core.advisor import IndexDesign, recommend
+from repro.core.aggregation import BitSlicedAggregator
+from repro.core.multi import AttributeSpec, TableDesign, allocate_budget
+from repro.errors import ReproError
+from repro.stats import ExecutionStats
+from repro.table import Table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttributeSpec",
+    "Base",
+    "BitSlicedAggregator",
+    "BitVector",
+    "BitmapIndex",
+    "EncodingScheme",
+    "ExecutionStats",
+    "IndexDesign",
+    "Predicate",
+    "ReproError",
+    "Table",
+    "TableDesign",
+    "allocate_budget",
+    "equality_eval",
+    "evaluate",
+    "get_codec",
+    "range_eval",
+    "range_eval_opt",
+    "recommend",
+    "__version__",
+]

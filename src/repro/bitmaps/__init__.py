@@ -1,0 +1,35 @@
+"""Bitmap substrate: packed bitvectors and bitmap compression codecs.
+
+This subpackage provides the low-level machinery the paper's indexes are
+built on:
+
+- :class:`repro.bitmaps.bitvector.BitVector` — a packed, word-aligned bit
+  vector with the four logical operations the paper relies on
+  (AND, OR, XOR, NOT) plus population count and (de)serialization.
+- :mod:`repro.bitmaps.compression` — pluggable bitmap codecs: the
+  zlib/deflate codec used in the paper's Section 9 experiments, a
+  from-scratch Word-Aligned Hybrid (WAH) run-length codec, and an identity
+  codec.
+"""
+
+from repro.bitmaps.bitvector import BitVector
+from repro.bitmaps.compressed import WahBitVector
+from repro.bitmaps.compression import (
+    Codec,
+    NullCodec,
+    WahCodec,
+    ZlibCodec,
+    get_codec,
+    register_codec,
+)
+
+__all__ = [
+    "BitVector",
+    "Codec",
+    "NullCodec",
+    "WahBitVector",
+    "WahCodec",
+    "ZlibCodec",
+    "get_codec",
+    "register_codec",
+]

@@ -1,0 +1,41 @@
+"""The paper's primary contribution: the bitmap-index design space.
+
+Modules
+-------
+- :mod:`repro.core.decomposition` — attribute-value decomposition
+  (mixed-radix bases ``<b_n, …, b_1>``), dimension 1 of the design space.
+- :mod:`repro.core.encoding` — equality/range bitmap encoding of each
+  component, dimension 2 of the design space.
+- :mod:`repro.core.index` — the :class:`~repro.core.index.BitmapIndex`
+  combining both dimensions.
+- :mod:`repro.core.evaluation` — the selection-query evaluation algorithms
+  (``RangeEval``, ``RangeEval-Opt``, and the equality-encoded evaluator).
+- :mod:`repro.core.costmodel` — the analytical space/time cost model
+  (Theorem 5.1, Eq. 5) plus exact expected-cost enumeration.
+- :mod:`repro.core.optimize` — space-/time-optimal indexes, the knee, and
+  the space-constrained optimization algorithms (Sections 6–8).
+- :mod:`repro.core.buffering` — bitmap buffering (Section 10).
+- :mod:`repro.core.advisor` — a physical-design advisor wrapping the above.
+"""
+
+from repro.core.decomposition import Base
+from repro.core.encoding import EncodingScheme
+from repro.core.index import BitmapIndex
+from repro.core.evaluation import (
+    Predicate,
+    equality_eval,
+    evaluate,
+    range_eval,
+    range_eval_opt,
+)
+
+__all__ = [
+    "Base",
+    "BitmapIndex",
+    "EncodingScheme",
+    "Predicate",
+    "equality_eval",
+    "evaluate",
+    "range_eval",
+    "range_eval_opt",
+]

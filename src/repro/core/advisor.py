@@ -1,0 +1,202 @@
+"""A physical-design advisor packaging the paper's guidelines.
+
+The paper closes by calling its results "a useful first set of guidelines
+for physical database design using bitmap indexes".  This module turns the
+Section 6–10 machinery into one entry point: give it the attribute
+cardinality, optionally a disk-space budget (in bitmaps) and a buffer size,
+and it returns a concrete recommended design together with the rationale
+that produced it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import costmodel
+from repro.core.buffering import buffered_time, optimal_assignment
+from repro.core.decomposition import Base
+from repro.core.encoding import EncodingScheme
+from repro.core.optimize import (
+    global_space_optimal_base,
+    global_time_optimal_base,
+    knee_base,
+    time_optimal_under_space,
+    time_optimal_under_space_heuristic,
+)
+from repro.errors import OptimizationError
+
+#: Below this candidate-space size the advisor runs the exact algorithm.
+_EXACT_SEARCH_CARDINALITY = 256
+
+#: The objectives the advisor knows how to optimize for.
+OBJECTIVES = ("knee", "time", "space")
+
+
+@dataclass(frozen=True)
+class IndexDesign:
+    """A recommended index design with its predicted costs."""
+
+    base: Base
+    encoding: EncodingScheme
+    space_bitmaps: int
+    expected_scans: float
+    buffered_bitmaps: int
+    rationale: str
+
+    def __str__(self) -> str:
+        return (
+            f"base {self.base} ({self.encoding.value}-encoded): "
+            f"{self.space_bitmaps} bitmaps, "
+            f"{self.expected_scans:.3f} expected scans/query — "
+            f"{self.rationale}"
+        )
+
+
+def recommend(
+    cardinality: int,
+    space_budget: int | None = None,
+    buffer_bitmaps: int = 0,
+    objective: str = "knee",
+    exact: bool | None = None,
+) -> IndexDesign:
+    """Recommend a range-encoded index design.
+
+    Parameters
+    ----------
+    cardinality:
+        Attribute cardinality ``C``.
+    space_budget:
+        Maximum stored bitmaps ``M``; ``None`` means unconstrained.
+    buffer_bitmaps:
+        Bitmaps ``m`` that can stay memory-resident; the predicted scan
+        count assumes the Theorem 10.1 optimal assignment.
+    objective:
+        ``'knee'`` (best space-time tradeoff, the default), ``'time'``
+        (fastest queries), or ``'space'`` (smallest index).
+    exact:
+        Force the exact (``TimeOptAlg``) or heuristic (``TimeOptHeur``)
+        space-constrained search; by default the exact search is used for
+        small cardinalities only.
+
+    Raises
+    ------
+    OptimizationError
+        If the space budget cannot fit any well-defined index.
+    """
+    if objective not in OBJECTIVES:
+        raise OptimizationError(
+            f"unknown objective {objective!r}; expected one of {OBJECTIVES}"
+        )
+
+    if objective == "space":
+        base = global_space_optimal_base(cardinality)
+        rationale = (
+            "space-optimal index (Theorem 6.1): base-2 decomposition with "
+            "the maximum number of components"
+        )
+    elif objective == "time":
+        if space_budget is None:
+            base = global_time_optimal_base(cardinality)
+            rationale = (
+                "time-optimal index (Theorem 6.1): single-component "
+                "Bit-Sliced shape"
+            )
+        else:
+            use_exact = (
+                exact
+                if exact is not None
+                else cardinality <= _EXACT_SEARCH_CARDINALITY
+            )
+            if use_exact:
+                base = time_optimal_under_space(space_budget, cardinality)
+                rationale = (
+                    f"time-optimal index within {space_budget} bitmaps "
+                    f"(Algorithm TimeOptAlg, exact)"
+                )
+            else:
+                base = time_optimal_under_space_heuristic(
+                    space_budget, cardinality
+                )
+                rationale = (
+                    f"time-optimal index within {space_budget} bitmaps "
+                    f"(Algorithm TimeOptHeur, near-optimal)"
+                )
+    else:  # knee
+        base = knee_base(cardinality)
+        rationale = (
+            "knee of the space-time tradeoff (Theorem 7.1): the most "
+            "time-efficient 2-component space-optimal index"
+        )
+        if space_budget is not None and costmodel.space_range(base) > space_budget:
+            base = time_optimal_under_space_heuristic(space_budget, cardinality)
+            rationale = (
+                f"knee exceeds the {space_budget}-bitmap budget; fell back "
+                f"to Algorithm TimeOptHeur within the budget"
+            )
+
+    space = costmodel.space_range(base)
+    if space_budget is not None and space > space_budget:
+        raise OptimizationError(
+            f"objective {objective!r} needs {space} bitmaps, over the "
+            f"budget of {space_budget}"
+        )
+    if buffer_bitmaps > 0:
+        scans = buffered_time(base, buffer_bitmaps)
+        assignment = optimal_assignment(base, buffer_bitmaps)
+        rationale += (
+            f"; with {buffer_bitmaps} buffered bitmaps assigned "
+            f"{assignment.counts} (Theorem 10.1)"
+        )
+    else:
+        scans = costmodel.time_range(base)
+    return IndexDesign(
+        base=base,
+        encoding=EncodingScheme.RANGE,
+        space_bitmaps=space,
+        expected_scans=scans,
+        buffered_bitmaps=buffer_bitmaps,
+        rationale=rationale,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Command-line advisor: ``python -m repro.core.advisor C [options]``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.core.advisor",
+        description="Recommend a bitmap-index design for one attribute.",
+    )
+    parser.add_argument("cardinality", type=int, help="attribute cardinality C")
+    parser.add_argument(
+        "--budget", type=int, default=None, help="max stored bitmaps M"
+    )
+    parser.add_argument(
+        "--buffer", type=int, default=0, help="buffered bitmaps m"
+    )
+    parser.add_argument(
+        "--objective", choices=OBJECTIVES, default="knee",
+        help="design objective (default: knee)",
+    )
+    parser.add_argument(
+        "--exact", action="store_true",
+        help="force the exact constrained search (TimeOptAlg)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        design = recommend(
+            args.cardinality,
+            space_budget=args.budget,
+            buffer_bitmaps=args.buffer,
+            objective=args.objective,
+            exact=True if args.exact else None,
+        )
+    except OptimizationError as exc:
+        print(f"error: {exc}")
+        return 2
+    print(design)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() tests
+    raise SystemExit(main())

@@ -1,0 +1,236 @@
+"""Bitmap encoding schemes — dimension 2 of the paper's design space.
+
+Each index component holds the bitmaps for one digit of the decomposed
+attribute value.  Two encodings are considered (paper Section 2):
+
+- **Equality encoding** (:class:`EqualityEncodedComponent`): bitmap ``B^j``
+  marks the rows whose digit equals ``j``.  A component of base ``b`` has
+  ``b`` bitmaps, but for ``b == 2`` only the ``j = 1`` bitmap is stored
+  because the other is its complement (Theorem 5.1's ``s_i = 1`` case).
+- **Range encoding** (:class:`RangeEncodedComponent`): bitmap ``B^j`` marks
+  the rows whose digit is *at most* ``j``.  The top bitmap ``B^(b-1)`` is
+  all ones and is never stored, so a component stores ``b - 1`` bitmaps.
+
+Both classes index their *stored* bitmaps by digit slot ``j`` and expose the
+same interface, so the in-memory index, the storage schemes, and the buffer
+pool can all serve the evaluation algorithms interchangeably.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.bitmaps.bitvector import BitVector
+from repro.errors import ValueOutOfRangeError
+
+
+class EncodingScheme(enum.Enum):
+    """The bitmap encoding schemes.
+
+    ``EQUALITY`` and ``RANGE`` are the two schemes the paper studies.
+    ``INTERVAL`` is the authors' follow-up scheme (Chan & Ioannidis,
+    SIGMOD 1999), included as an extension: it stores roughly half the
+    bitmaps of range encoding while still answering any predicate with at
+    most two bitmap scans per component.
+    """
+
+    EQUALITY = "equality"
+    RANGE = "range"
+    INTERVAL = "interval"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class _Component:
+    """Common plumbing for the component encodings."""
+
+    encoding: EncodingScheme
+
+    def __init__(self, base: int, nbits: int, bitmaps: dict[int, BitVector]):
+        self.base = base
+        self.nbits = nbits
+        self._bitmaps = bitmaps
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def membership(self, digit: int, slot: int) -> bool:
+        """Whether a row with this digit belongs in stored bitmap ``slot``."""
+        raise NotImplementedError
+
+    def set_row(self, rid: int, digit: int) -> int:
+        """Re-encode one row's digit in place; returns bitmaps modified."""
+        if not 0 <= digit < self.base:
+            raise ValueOutOfRangeError(
+                f"digit {digit} out of range [0, {self.base})"
+            )
+        touched = 0
+        for slot, bitmap in self._bitmaps.items():
+            want = self.membership(digit, slot)
+            if bitmap.get(rid) != want:
+                bitmap.set(rid, want)
+                touched += 1
+        return touched
+
+    def append_rows(self, digits: np.ndarray) -> None:
+        """Extend every stored bitmap with newly appended rows' digits."""
+        digits = np.asarray(digits)
+        _check_digits(digits, self.base)
+        for slot, bitmap in list(self._bitmaps.items()):
+            new_bits = self._slot_bools(digits, slot)
+            combined = np.concatenate((bitmap.to_bools(), new_bits))
+            self._bitmaps[slot] = BitVector.from_bools(combined)
+        self.nbits += len(digits)
+
+    def _slot_bools(self, digits: np.ndarray, slot: int) -> np.ndarray:
+        """Vectorized :meth:`membership` for a digit column."""
+        raise NotImplementedError
+
+    @property
+    def num_stored(self) -> int:
+        """Number of physically stored bitmaps (the space contribution)."""
+        return len(self._bitmaps)
+
+    def stored_slots(self) -> tuple[int, ...]:
+        """Digit slots ``j`` that have a physical bitmap, in increasing order."""
+        return tuple(sorted(self._bitmaps))
+
+    def bitmap(self, slot: int) -> BitVector:
+        """The stored bitmap for digit slot ``slot``.
+
+        Raises ``KeyError`` for virtual (non-stored) slots; callers that
+        need the virtual bitmaps (the all-ones top range bitmap, the
+        complemented base-2 equality bitmap) synthesize them — see
+        :mod:`repro.core.evaluation`.
+        """
+        return self._bitmaps[slot]
+
+    def __contains__(self, slot: int) -> bool:
+        return slot in self._bitmaps
+
+
+class EqualityEncodedComponent(_Component):
+    """One equality-encoded component (bitmap ``B^j`` = rows with digit ``j``)."""
+
+    encoding = EncodingScheme.EQUALITY
+
+    @classmethod
+    def build(cls, digits: np.ndarray, base: int) -> "EqualityEncodedComponent":
+        """Encode a digit column of values in ``[0, base)``."""
+        digits = np.asarray(digits)
+        _check_digits(digits, base)
+        nbits = len(digits)
+        bitmaps: dict[int, BitVector] = {}
+        if base == 2:
+            # Complement trick: store only B^1; B^0 = NOT B^1.
+            bitmaps[1] = BitVector.from_bools(digits == 1)
+        else:
+            for j in range(base):
+                bitmaps[j] = BitVector.from_bools(digits == j)
+        return cls(base, nbits, bitmaps)
+
+    def membership(self, digit: int, slot: int) -> bool:
+        return digit == slot
+
+    def _slot_bools(self, digits: np.ndarray, slot: int) -> np.ndarray:
+        return digits == slot
+
+
+class RangeEncodedComponent(_Component):
+    """One range-encoded component (bitmap ``B^j`` = rows with digit ``<= j``)."""
+
+    encoding = EncodingScheme.RANGE
+
+    @classmethod
+    def build(cls, digits: np.ndarray, base: int) -> "RangeEncodedComponent":
+        """Encode a digit column of values in ``[0, base)``.
+
+        Slots ``0 .. base - 2`` are stored; slot ``base - 1`` would be all
+        ones and is virtual.
+        """
+        digits = np.asarray(digits)
+        _check_digits(digits, base)
+        nbits = len(digits)
+        bitmaps = {
+            j: BitVector.from_bools(digits <= j) for j in range(base - 1)
+        }
+        return cls(base, nbits, bitmaps)
+
+    def membership(self, digit: int, slot: int) -> bool:
+        return digit <= slot
+
+    def _slot_bools(self, digits: np.ndarray, slot: int) -> np.ndarray:
+        return digits <= slot
+
+
+class IntervalEncodedComponent(_Component):
+    """One interval-encoded component (extension; Chan & Ioannidis 1999).
+
+    With ``m = ceil(b / 2)``, bitmap ``I^j`` (``j = 0 .. m-1``) marks the
+    rows whose digit lies in the length-``m`` window ``[j, j + m - 1]``.
+    Any single-digit predicate is answerable from at most two of these
+    bitmaps, with roughly half the storage of range encoding.
+    """
+
+    encoding = EncodingScheme.INTERVAL
+
+    @classmethod
+    def build(cls, digits: np.ndarray, base: int) -> "IntervalEncodedComponent":
+        """Encode a digit column of values in ``[0, base)``."""
+        digits = np.asarray(digits)
+        _check_digits(digits, base)
+        nbits = len(digits)
+        m = interval_window(base)
+        bitmaps = {
+            j: BitVector.from_bools((digits >= j) & (digits <= j + m - 1))
+            for j in range(m)
+        }
+        return cls(base, nbits, bitmaps)
+
+    def membership(self, digit: int, slot: int) -> bool:
+        m = interval_window(self.base)
+        return slot <= digit <= slot + m - 1
+
+    def _slot_bools(self, digits: np.ndarray, slot: int) -> np.ndarray:
+        m = interval_window(self.base)
+        return (digits >= slot) & (digits <= slot + m - 1)
+
+
+def interval_window(base: int) -> int:
+    """The interval-encoding window length ``m = ceil(base / 2)``."""
+    return (base + 1) // 2
+
+
+def build_component(
+    digits: np.ndarray, base: int, encoding: EncodingScheme
+) -> _Component:
+    """Build a component of the requested encoding from a digit column."""
+    if encoding is EncodingScheme.EQUALITY:
+        return EqualityEncodedComponent.build(digits, base)
+    if encoding is EncodingScheme.RANGE:
+        return RangeEncodedComponent.build(digits, base)
+    if encoding is EncodingScheme.INTERVAL:
+        return IntervalEncodedComponent.build(digits, base)
+    raise ValueError(f"unknown encoding {encoding!r}")
+
+
+def stored_bitmap_count(base: int, encoding: EncodingScheme) -> int:
+    """Stored bitmaps of one component (Theorem 5.1's per-component space)."""
+    if encoding is EncodingScheme.EQUALITY:
+        return base if base > 2 else 1
+    if encoding is EncodingScheme.RANGE:
+        return base - 1
+    if encoding is EncodingScheme.INTERVAL:
+        return interval_window(base)
+    raise ValueError(f"unknown encoding {encoding!r}")
+
+
+def _check_digits(digits: np.ndarray, base: int) -> None:
+    if base < 2:
+        raise ValueOutOfRangeError(f"component base must be >= 2, got {base}")
+    if digits.size and (digits.min() < 0 or digits.max() >= base):
+        raise ValueOutOfRangeError(f"digit values outside [0, {base})")

@@ -1,0 +1,379 @@
+"""The bitmap index: n decomposed components, each equality- or range-encoded.
+
+:class:`BitmapIndex` is the central object of the library.  It is built from
+a column of values, a decomposition :class:`~repro.core.decomposition.Base`,
+and an :class:`~repro.core.encoding.EncodingScheme`, and implements the
+*bitmap source* protocol consumed by the evaluation algorithms
+(:mod:`repro.core.evaluation`): ``fetch(component, slot, stats)`` returns a
+stored bitmap and records one scan.
+
+The paper assumes attribute values are consecutive integers ``0 .. C-1``;
+for the general case it prescribes a lookup table mapping actual values to
+ranks (Section 2).  :meth:`BitmapIndex.for_column` implements exactly that:
+it factorizes an arbitrary value column and keeps the sorted-value
+dictionary so predicates on original values can be translated to rank
+predicates (order-preserving, so range predicates survive translation).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.bitmaps.bitvector import BitVector
+from repro.core.decomposition import Base
+from repro.core.encoding import (
+    EncodingScheme,
+    build_component,
+    stored_bitmap_count,
+)
+from repro.errors import InvalidBaseError, ValueOutOfRangeError
+from repro.stats import ExecutionStats
+
+
+@runtime_checkable
+class BitmapSource(Protocol):
+    """What the evaluation algorithms need from an index-like object.
+
+    Implemented by :class:`BitmapIndex` (in memory), the storage schemes of
+    :mod:`repro.storage.schemes` (simulated disk), and the buffer pool of
+    :mod:`repro.storage.buffer`.
+    """
+
+    nbits: int
+    cardinality: int
+    base: Base
+    encoding: EncodingScheme
+    nonnull: BitVector | None
+
+    def fetch(
+        self, component: int, slot: int, stats: ExecutionStats
+    ) -> BitVector:
+        """Read stored bitmap ``slot`` of ``component`` (1-based), recording a scan."""
+        ...
+
+
+class BitmapIndex:
+    """An n-component bitmap index over an integer column in ``[0, C)``.
+
+    Parameters
+    ----------
+    values:
+        Integer array of attribute values (ranks), one per record.
+    cardinality:
+        Attribute cardinality ``C``.  Values must lie in ``[0, C)``.
+    base:
+        Decomposition base; must cover ``C``.  Defaults to the
+        single-component base ``<C>`` (the classical Value-List /
+        Bit-Sliced shape, depending on encoding).
+    encoding:
+        Equality or range encoding, applied to every component.
+    nulls:
+        Optional boolean mask marking NULL records.  NULL records are
+        encoded as digit 0 everywhere but masked out of every query result
+        through the ``B_nn`` bitmap, as in the paper's algorithms.
+    keep_values:
+        Keep the raw value column for verification via :meth:`naive_eval`
+        (default on; switch off to save memory in large experiments).
+    """
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        cardinality: int,
+        base: Base | None = None,
+        encoding: EncodingScheme = EncodingScheme.RANGE,
+        nulls: np.ndarray | None = None,
+        keep_values: bool = True,
+    ):
+        values = np.asarray(values, dtype=np.int64)
+        if values.ndim != 1:
+            raise ValueOutOfRangeError("values must be a 1-D array")
+        if cardinality < 2:
+            raise InvalidBaseError("attribute cardinality must be at least 2")
+        if base is None:
+            base = Base.single(cardinality)
+        if not base.covers(cardinality):
+            raise InvalidBaseError(
+                f"base {base} (capacity {base.capacity}) cannot represent "
+                f"cardinality {cardinality}"
+            )
+        encode_values = values
+        if nulls is not None:
+            nulls = np.asarray(nulls, dtype=bool)
+            if nulls.shape != values.shape:
+                raise ValueOutOfRangeError("nulls mask must match values shape")
+            encode_values = np.where(nulls, 0, values)
+            self.nonnull: BitVector | None = BitVector.from_bools(~nulls)
+        else:
+            self.nonnull = None
+        if encode_values.size and (
+            encode_values.min() < 0 or encode_values.max() >= cardinality
+        ):
+            raise ValueOutOfRangeError(
+                f"values outside [0, {cardinality})"
+            )
+
+        self.nbits = len(values)
+        self.cardinality = cardinality
+        self.base = base
+        self.encoding = encoding
+        digit_columns = base.digit_arrays(encode_values)
+        # components[0] is component 1 (least significant), matching the
+        # paper's numbering used throughout evaluation and cost model.
+        self.components = [
+            build_component(digit_columns[i], base.component(i + 1), encoding)
+            for i in range(base.n)
+        ]
+        self._values = values.copy() if keep_values else None
+        self._nulls = nulls.copy() if nulls is not None else None
+
+    # ------------------------------------------------------------------
+    # Construction from arbitrary (non-consecutive) values
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def for_column(
+        cls,
+        column: np.ndarray,
+        base: Base | None = None,
+        encoding: EncodingScheme = EncodingScheme.RANGE,
+        nulls: np.ndarray | None = None,
+    ) -> "BitmapIndex":
+        """Build an index over arbitrary orderable values.
+
+        The distinct values are ranked (the paper's lookup-table approach);
+        the sorted dictionary is kept on the returned index as
+        :attr:`value_dictionary` and used by :meth:`rank_of` to translate
+        predicates on original values.
+        """
+        column = np.asarray(column)
+        if nulls is not None:
+            nulls = np.asarray(nulls, dtype=bool)
+            fill = column[~nulls][0] if (~nulls).any() else column[0]
+            effective = np.where(nulls, fill, column)
+        else:
+            effective = column
+        dictionary, ranks = np.unique(effective, return_inverse=True)
+        if len(dictionary) < 2:
+            raise InvalidBaseError(
+                "column has fewer than 2 distinct values; a bitmap index "
+                "needs attribute cardinality >= 2"
+            )
+        index = cls(
+            ranks,
+            cardinality=len(dictionary),
+            base=base,
+            encoding=encoding,
+            nulls=nulls,
+        )
+        index.value_dictionary = dictionary
+        return index
+
+    value_dictionary: np.ndarray | None = None
+
+    def rank_of(self, value, side: str = "left") -> int:
+        """Translate an original value to a rank for predicate evaluation.
+
+        For a value present in the dictionary this is its rank.  For an
+        absent value, ``side='left'`` returns the rank of the smallest
+        dictionary value ``>= value`` (suitable for ``>=``/``<``
+        predicates) and ``side='right'`` returns that rank minus one is
+        handled by the caller via the usual ``searchsorted`` convention.
+        """
+        if self.value_dictionary is None:
+            return int(value)
+        return int(np.searchsorted(self.value_dictionary, value, side=side))
+
+    # ------------------------------------------------------------------
+    # Bitmap source protocol
+    # ------------------------------------------------------------------
+
+    def fetch(
+        self, component: int, slot: int, stats: ExecutionStats
+    ) -> BitVector:
+        """Return stored bitmap ``slot`` of ``component``, recording one scan."""
+        comp = self.components[component - 1]
+        bitmap = comp.bitmap(slot)
+        stats.record_scan(nbytes=bitmap.nbytes)
+        return bitmap
+
+    def stored_slots(self, component: int) -> tuple[int, ...]:
+        """Stored digit slots of a component (1-based component number)."""
+        return self.components[component - 1].stored_slots()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        """Cardinality of the indexed relation (bits per bitmap)."""
+        return self.nbits
+
+    @property
+    def num_bitmaps(self) -> int:
+        """Stored bitmaps across all components — the paper's space metric."""
+        return sum(c.num_stored for c in self.components)
+
+    @property
+    def size_in_bits(self) -> int:
+        """Uncompressed size: ``num_bitmaps * N`` bits."""
+        return self.num_bitmaps * self.nbits
+
+    def expected_bitmaps(self) -> int:
+        """Space predicted by Theorem 5.1 (should equal :attr:`num_bitmaps`)."""
+        return sum(
+            stored_bitmap_count(self.base.component(i + 1), self.encoding)
+            for i in range(self.base.n)
+        )
+
+    def bit_matrix(self) -> np.ndarray:
+        """The index as the paper's ``N x num_bitmaps`` boolean bit-matrix.
+
+        Columns are ordered component 1 first, slots increasing — the
+        layout the Index-level Storage scheme serializes row-major.
+        """
+        columns = []
+        for comp in self.components:
+            for slot in comp.stored_slots():
+                columns.append(comp.bitmap(slot).to_bools())
+        return np.column_stack(columns) if columns else np.zeros((self.nbits, 0), bool)
+
+    # ------------------------------------------------------------------
+    # Maintenance (extension)
+    # ------------------------------------------------------------------
+    #
+    # The paper targets read-mostly environments precisely because bitmap
+    # maintenance is expensive; these methods implement it anyway — and
+    # return how many bitmaps each operation touched, which is the
+    # quantity behind that motivation (see the `ablation_updates`
+    # experiment).
+
+    def append(
+        self, values: np.ndarray, nulls: np.ndarray | None = None
+    ) -> int:
+        """Append new records; returns the number of bitmaps rewritten.
+
+        Every stored bitmap is extended (appends touch all of them — the
+        cheap dimension of bitmap maintenance, since it is a sequential
+        rewrite).  Values are ranks in ``[0, C)``; growing the value
+        dictionary of a :meth:`for_column` index is not supported.
+        """
+        values = np.asarray(values, dtype=np.int64)
+        if values.ndim != 1:
+            raise ValueOutOfRangeError("values must be a 1-D array")
+        if nulls is not None:
+            nulls = np.asarray(nulls, dtype=bool)
+            if nulls.shape != values.shape:
+                raise ValueOutOfRangeError("nulls mask must match values shape")
+        encode_values = values if nulls is None else np.where(nulls, 0, values)
+        if encode_values.size and (
+            encode_values.min() < 0 or encode_values.max() >= self.cardinality
+        ):
+            raise ValueOutOfRangeError(f"values outside [0, {self.cardinality})")
+
+        if nulls is not None and self.nonnull is None:
+            # Start tracking nulls: existing rows are all valid.
+            self.nonnull = BitVector.ones(self.nbits)
+            self._nulls = np.zeros(self.nbits, dtype=bool)
+        digit_columns = self.base.digit_arrays(encode_values)
+        for i, component in enumerate(self.components):
+            component.append_rows(digit_columns[i])
+        if self.nonnull is not None:
+            new_valid = ~nulls if nulls is not None else np.ones(len(values), bool)
+            self.nonnull = BitVector.from_bools(
+                np.concatenate((self.nonnull.to_bools(), new_valid))
+            )
+            if self._nulls is not None:
+                appended = nulls if nulls is not None else np.zeros(len(values), bool)
+                self._nulls = np.concatenate((self._nulls, appended))
+        if self._values is not None:
+            self._values = np.concatenate((self._values, values))
+        self.nbits += len(values)
+        return self.num_bitmaps
+
+    def update(self, rid: int, value: int) -> int:
+        """Change one record's value; returns the number of bitmaps touched.
+
+        This is the expensive dimension: a range-encoded component flips
+        the record's bit in every bitmap between the old and new digit,
+        up to ``b_i - 1`` of them.
+        """
+        self._check_rid(rid)
+        if not 0 <= value < self.cardinality:
+            raise ValueOutOfRangeError(f"value outside [0, {self.cardinality})")
+        digits = self.base.digits(value)
+        touched = 0
+        for i, component in enumerate(self.components):
+            touched += component.set_row(rid, digits[i])
+        if self.nonnull is not None and not self.nonnull.get(rid):
+            self.nonnull.set(rid, True)  # updating a deleted row revives it
+            touched += 1
+            if self._nulls is not None:
+                self._nulls[rid] = False
+        if self._values is not None:
+            self._values[rid] = value
+        return touched
+
+    def delete(self, rid: int) -> int:
+        """Logically delete one record via the non-null (existence) bitmap.
+
+        Returns the number of bitmaps touched (1, or 2 on the first delete
+        when the existence bitmap is materialized).
+        """
+        self._check_rid(rid)
+        touched = 0
+        if self.nonnull is None:
+            self.nonnull = BitVector.ones(self.nbits)
+            self._nulls = np.zeros(self.nbits, dtype=bool)
+            touched += 1
+        if self.nonnull.get(rid):
+            self.nonnull.set(rid, False)
+            touched += 1
+        if self._nulls is not None:
+            self._nulls[rid] = True
+        return touched
+
+    def _check_rid(self, rid: int) -> None:
+        if not 0 <= rid < self.nbits:
+            raise ValueOutOfRangeError(
+                f"rid {rid} out of range for {self.nbits} records"
+            )
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+
+    def naive_eval(self, op: str, value: int) -> BitVector:
+        """Evaluate ``A op value`` directly on the raw column (ground truth)."""
+        if self._values is None:
+            raise RuntimeError(
+                "index was built with keep_values=False; naive_eval unavailable"
+            )
+        v = self._values
+        if op == "<":
+            mask = v < value
+        elif op == "<=":
+            mask = v <= value
+        elif op == "=":
+            mask = v == value
+        elif op == "!=":
+            mask = v != value
+        elif op == ">=":
+            mask = v >= value
+        elif op == ">":
+            mask = v > value
+        else:
+            raise ValueOutOfRangeError(f"unknown operator {op!r}")
+        if self._nulls is not None:
+            mask = mask & ~self._nulls
+        return BitVector.from_bools(mask)
+
+    def __repr__(self) -> str:
+        return (
+            f"BitmapIndex(N={self.nbits}, C={self.cardinality}, "
+            f"base={self.base}, encoding={self.encoding}, "
+            f"bitmaps={self.num_bitmaps})"
+        )

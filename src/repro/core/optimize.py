@@ -1,0 +1,463 @@
+"""Optimal bitmap-index design (paper Sections 6–8).
+
+Identifies the four interesting points of the space-time tradeoff graph
+(the paper's Figure 2):
+
+- (A) the **space-optimal** index — :func:`space_optimal_base`;
+- (D) the **time-optimal** index — :func:`time_optimal_base`;
+- (C) the **knee** — :func:`knee_base` (Theorem 7.1) and the
+  definition-based :func:`find_knee`;
+- (B) the **time-optimal index under a space constraint** —
+  :func:`time_optimal_under_space` (Algorithm ``TimeOptAlg``) and
+  :func:`time_optimal_under_space_heuristic` (Algorithm ``TimeOptHeur`` =
+  ``FindSmallestN`` + ``RefineIndex``).
+
+All results here are for *range-encoded* indexes, which Section 5 shows to
+dominate equality encoding; space/time are the Theorem 5.1 metrics from
+:mod:`repro.core.costmodel`.
+
+Base-sequence convention: a multiset of base numbers is arranged with its
+*largest* number on component 1 (the least significant digit).  Under
+Eq. (4) this arrangement is the most time-efficient for a given multiset,
+since ``Time`` decreases in ``b_1`` with the multiset fixed.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.core import costmodel
+from repro.core.decomposition import Base, integer_nth_root_ceil, product
+from repro.errors import InvalidBaseError, OptimizationError
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One index design with its cost-model coordinates."""
+
+    base: Base
+    space: int
+    time: float
+
+    @classmethod
+    def of(cls, base: Base) -> "DesignPoint":
+        return cls(base, costmodel.space_range(base), costmodel.time_range(base))
+
+
+def _arranged(multiset: tuple[int, ...]) -> Base:
+    """Arrange a multiset of base numbers with the largest on component 1."""
+    return Base(tuple(sorted(multiset)))
+
+
+def max_components(cardinality: int) -> int:
+    """Largest useful component count: ``ceil(log2 C)`` (all bases = 2)."""
+    if cardinality < 2:
+        raise InvalidBaseError("cardinality must be at least 2")
+    return (cardinality - 1).bit_length() if cardinality > 2 else 1
+
+
+# ----------------------------------------------------------------------
+# Theorem 6.1 — space-optimal and time-optimal indexes
+# ----------------------------------------------------------------------
+
+
+def space_optimal_base(cardinality: int, n: int) -> Base:
+    """The n-component space-optimal base (Theorem 6.1(1)).
+
+    With ``b = ceil(C^(1/n))`` and ``r`` the smallest positive integer such
+    that ``b^r (b-1)^(n-r) >= C``, the base is ``n - r`` copies of
+    ``b - 1`` and ``r`` copies of ``b`` (the larger numbers on the less
+    significant components), storing ``n (b - 2) + r`` bitmaps.
+    """
+    _check_n(cardinality, n)
+    b = integer_nth_root_ceil(cardinality, n)
+    r = next(
+        r
+        for r in range(1, n + 1)
+        if b**r * (b - 1) ** (n - r) >= cardinality
+    )
+    if b - 1 < 2 and n - r > 0:
+        raise InvalidBaseError(
+            f"{n} components cannot cover cardinality {cardinality} with "
+            f"well-defined bases"
+        )
+    return Base((b - 1,) * (n - r) + (b,) * r)
+
+
+def space_optimal_bitmaps(cardinality: int, n: int) -> int:
+    """Stored bitmaps of the n-component space-optimal index: ``n(b-2)+r``."""
+    return costmodel.space_range(space_optimal_base(cardinality, n))
+
+
+def time_optimal_base(cardinality: int, n: int) -> Base:
+    """The n-component time-optimal base (Theorem 6.1(3)).
+
+    ``<2, …, 2, ceil(C / 2^(n-1))>`` — ``n - 1`` binary components and one
+    large base on component 1.
+    """
+    _check_n(cardinality, n)
+    big = -(-cardinality // 2 ** (n - 1))  # ceil division
+    if big < 2:
+        raise InvalidBaseError(
+            f"{n} components exceed the useful maximum for C={cardinality}"
+        )
+    return Base((2,) * (n - 1) + (big,))
+
+
+def global_space_optimal_base(cardinality: int) -> Base:
+    """The overall space-optimal index: base 2, ``ceil(log2 C)`` components."""
+    return space_optimal_base(cardinality, max_components(cardinality))
+
+
+def global_time_optimal_base(cardinality: int) -> Base:
+    """The overall time-optimal index: the single-component base ``<C>``."""
+    return time_optimal_base(cardinality, 1)
+
+
+def _check_n(cardinality: int, n: int) -> None:
+    if cardinality < 2:
+        raise InvalidBaseError("cardinality must be at least 2")
+    if not 1 <= n <= max_components(cardinality):
+        raise InvalidBaseError(
+            f"component count {n} outside 1..{max_components(cardinality)} "
+            f"for cardinality {cardinality}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Theorem 7.1 — the knee
+# ----------------------------------------------------------------------
+
+
+def knee_base(cardinality: int) -> Base:
+    """The paper's knee characterization (Theorem 7.1).
+
+    The most time-efficient 2-component space-optimal index:
+    ``<b2 - d, b1 + d>`` with ``b1 = ceil(sqrt(C))``, ``b2 = ceil(C/b1)``,
+    and ``d = max(floor((b2 - b1 + sqrt((b2 + b1)^2 - 4C)) / 2), 0)``,
+    clamped so both base numbers stay well-defined.
+    """
+    if cardinality < 2:
+        raise InvalidBaseError("cardinality must be at least 2")
+    if cardinality == 2:
+        return Base((2,))
+    b1 = integer_nth_root_ceil(cardinality, 2)
+    b2 = -(-cardinality // b1)
+    disc = (b2 + b1) ** 2 - 4 * cardinality
+    delta = max(int((b2 - b1 + math.isqrt(disc)) // 2), 0) if disc >= 0 else 0
+    delta = min(delta, b2 - 2)
+    # Guard against integer-sqrt boundary effects: the adjusted pair must
+    # still cover C; back off until it does.
+    while delta > 0 and (b2 - delta) * (b1 + delta) < cardinality:
+        delta -= 1
+    return Base((b2 - delta, b1 + delta))
+
+
+def find_knee(points: list[DesignPoint]) -> DesignPoint:
+    """The knee by the paper's Section 7 gradient definition.
+
+    ``points`` are the optimal (Pareto) indexes sorted by increasing
+    space.  With normalizing factor ``F = Space(I_p) / Time(I_1)``, the
+    knee is the interior point with ``LG > 1 and RG < 1`` maximizing
+    ``LG / RG``, where LG/RG are the normalized gradients of the adjacent
+    segments.  Falls back to the best LG/RG ratio when no point satisfies
+    both threshold conditions (possible on very small graphs).
+    """
+    if not points:
+        raise OptimizationError("cannot find the knee of an empty graph")
+    if len(points) < 3:
+        return points[0]
+    pts = sorted(points, key=lambda p: (p.space, p.time))
+    factor = pts[-1].space / pts[0].time
+    best: DesignPoint | None = None
+    best_ratio = -math.inf
+    fallback: DesignPoint | None = None
+    fallback_ratio = -math.inf
+    for j in range(1, len(pts) - 1):
+        left, mid, right = pts[j - 1], pts[j], pts[j + 1]
+        if right.space == mid.space or mid.space == left.space:
+            continue
+        rg = (mid.time - right.time) / (right.space - mid.space) * factor
+        lg = (left.time - mid.time) / (mid.space - left.space) * factor
+        if rg <= 0:
+            continue
+        ratio = lg / rg
+        if lg > 1 and rg < 1 and ratio > best_ratio:
+            best, best_ratio = mid, ratio
+        if ratio > fallback_ratio:
+            fallback, fallback_ratio = mid, ratio
+    if best is not None:
+        return best
+    if fallback is not None:
+        return fallback
+    return pts[len(pts) // 2]
+
+
+# ----------------------------------------------------------------------
+# Design-space enumeration
+# ----------------------------------------------------------------------
+
+
+def enumerate_bases(
+    cardinality: int,
+    max_space: int | None = None,
+    exact_n: int | None = None,
+    tight_only: bool = False,
+    necessary_only: bool = True,
+) -> Iterator[Base]:
+    """Enumerate index bases covering ``cardinality``.
+
+    Bases are yielded as arranged :class:`Base` objects (largest number on
+    component 1); each *multiset* of base numbers appears exactly once.
+
+    Parameters
+    ----------
+    max_space:
+        Only bases storing at most this many bitmaps (``sum(b_i - 1)``).
+    exact_n:
+        Only bases with exactly this many components.
+    tight_only:
+        Only bases where no single base number can be decreased without
+        dropping coverage — the Pareto-relevant subset (decreasing a base
+        number reduces both space and Eq.-(4) time).
+    necessary_only:
+        Only bases where every component is needed for coverage (dropping
+        the smallest base number loses coverage).  Ignored when
+        ``max_space`` bounds the universe and the caller wants the paper's
+        unrestricted candidate count (pass ``False``).
+    """
+    if cardinality < 2:
+        raise InvalidBaseError("cardinality must be at least 2")
+    restrict = tight_only or necessary_only
+    if max_space is None and not restrict:
+        raise OptimizationError(
+            "unbounded enumeration: give max_space or a tightness filter"
+        )
+    budget = max_space if max_space is not None else cardinality - 1
+    top_limit = min(cardinality, budget + 1) if restrict else budget + 1
+
+    def rec(
+        prefix: tuple[int, ...], prod: int, space_used: int, limit: int
+    ) -> Iterator[tuple[int, ...]]:
+        covered = prod >= cardinality
+        if covered and prefix and (exact_n is None or len(prefix) == exact_n):
+            yield prefix
+        if covered and restrict:
+            # Any extension would contain an unnecessary component.
+            return
+        if exact_n is not None and len(prefix) >= exact_n:
+            return
+        remaining = budget - space_used
+        if remaining <= 0:
+            return
+        if not covered and prod * (1 << remaining) < cardinality:
+            return  # even all-binary extensions cannot reach coverage
+        for b in range(2, min(limit, remaining + 1) + 1):
+            yield from rec(prefix + (b,), prod * b, space_used + b - 1, b)
+
+    for multiset in rec((), 1, 0, top_limit):
+        if tight_only:
+            p = product(multiset)
+            bmax = multiset[0]
+            if p * (bmax - 1) >= cardinality * bmax:
+                continue
+        yield _arranged(multiset)
+
+
+def pareto_front(points: list[DesignPoint]) -> list[DesignPoint]:
+    """Non-dominated subset, sorted by space (ties keep the faster index)."""
+    best: dict[int, DesignPoint] = {}
+    for p in points:
+        cur = best.get(p.space)
+        if cur is None or p.time < cur.time:
+            best[p.space] = p
+    front: list[DesignPoint] = []
+    min_time = math.inf
+    for space_value in sorted(best):
+        p = best[space_value]
+        if p.time < min_time:
+            front.append(p)
+            min_time = p.time
+    return front
+
+
+def design_space(
+    cardinality: int, tight_only: bool = True
+) -> list[DesignPoint]:
+    """All (tight) designs with their cost coordinates — the Figure 9/10 cloud."""
+    return [
+        DesignPoint.of(base)
+        for base in enumerate_bases(cardinality, tight_only=tight_only)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Section 8 — time-optimal index under a space constraint
+# ----------------------------------------------------------------------
+
+
+def find_smallest_n(max_bitmaps: int, cardinality: int) -> tuple[int, Base]:
+    """Algorithm ``FindSmallestN``.
+
+    Returns the smallest component count ``n`` whose space-optimal index
+    fits in ``max_bitmaps``, together with an n-component seed index whose
+    space is *exactly* ``max_bitmaps``: ``n - r`` components of base ``b``
+    and ``r`` of base ``b + 1`` with ``b = (M + n) // n``,
+    ``r = (M + n) mod n``.
+    """
+    _check_budget(max_bitmaps, cardinality)
+    n = 0
+    while True:
+        n += 1
+        b = (max_bitmaps + n) // n
+        r = (max_bitmaps + n) % n
+        if b < 2:
+            raise OptimizationError(
+                f"no index with at most {max_bitmaps} bitmaps covers "
+                f"cardinality {cardinality}"
+            )
+        if (b + 1) ** r * b ** (n - r) >= cardinality:
+            return n, Base((b,) * (n - r) + (b + 1,) * r)
+
+
+def refine_index(base: Base, cardinality: int) -> Base:
+    """Algorithm ``RefineIndex`` (Theorem 8.1).
+
+    Improves time-efficiency without increasing space: repeatedly shifts
+    mass ``delta`` from the smallest base number ``b_p`` to the next
+    smallest ``b_q`` (``b_p -> b_p - delta``, ``b_q -> b_q + delta``),
+    choosing the largest ``delta`` that keeps coverage, then shrinks
+    component 1 to the minimum that still covers ``cardinality``.
+    """
+    work = sorted(base.bases)
+    n = len(work)
+    prod = product(work)
+    fixed: list[int] = []  # bases for components n, n-1, …, 2 in turn
+
+    for _ in range(n - 1):
+        work.sort()
+        bp = work.pop(0)
+        if bp > 2 and work:
+            bq = work[0]
+            target = cardinality * bp * bq  # need (bp-d)(bq+d) * prod >= target
+            delta = _largest_delta(bp, bq, prod, target)
+            if delta > 0:
+                prod = (prod // (bp * bq)) * (bp - delta) * (bq + delta)
+                work[0] = bq + delta
+                bp -= delta
+        fixed.append(bp)
+
+    rest = product(fixed)
+    b1 = max(2, -(-cardinality // rest))
+    return Base(tuple(fixed) + (b1,))
+
+
+def _largest_delta(bp: int, bq: int, prod: int, target: int) -> int:
+    """Largest ``delta`` in ``[0, bp - 2]`` with ``(bp-d)(bq+d)·prod >= target``."""
+    disc = (bp + bq) ** 2 - 4 * (target // prod + (1 if target % prod else 0))
+    if disc >= 0:
+        delta = (bp - bq + math.isqrt(disc)) // 2
+    else:
+        delta = 0
+    delta = max(0, min(delta, bp - 2))
+    while delta > 0 and (bp - delta) * (bq + delta) * prod < target:
+        delta -= 1
+    while delta < bp - 2 and (bp - delta - 1) * (bq + delta + 1) * prod >= target:
+        delta += 1
+    return delta
+
+
+def time_optimal_under_space(max_bitmaps: int, cardinality: int) -> Base:
+    """Algorithm ``TimeOptAlg`` — the exact optimum under a space budget.
+
+    Searches component counts between the smallest feasible ``n`` (from
+    the space-optimal family) and the smallest ``n'`` whose time-optimal
+    index fits; inside that window every candidate multiset is enumerated
+    (restricted, without loss of optimality, to tight bases).
+    """
+    _check_budget(max_bitmaps, cardinality)
+    n0 = _smallest_feasible_n(max_bitmaps, cardinality)
+    if costmodel.space_range(time_optimal_base(cardinality, n0)) <= max_bitmaps:
+        return time_optimal_base(cardinality, n0)
+    n1 = _smallest_time_optimal_fit(max_bitmaps, cardinality, n0)
+    best = time_optimal_base(cardinality, n1)
+    best_time = costmodel.time_range(best)
+    for k in range(n0, n1):
+        for candidate in enumerate_bases(
+            cardinality, max_space=max_bitmaps, exact_n=k, tight_only=True
+        ):
+            t = costmodel.time_range(candidate)
+            if t < best_time:
+                best, best_time = candidate, t
+    return best
+
+
+def time_optimal_under_space_heuristic(
+    max_bitmaps: int, cardinality: int
+) -> Base:
+    """Algorithm ``TimeOptHeur`` — the near-optimal O(log C log log C) search."""
+    n, seed = find_smallest_n(max_bitmaps, cardinality)
+    candidate = time_optimal_base(cardinality, n)
+    if costmodel.space_range(candidate) <= max_bitmaps:
+        return candidate
+    return refine_index(seed, cardinality)
+
+
+def candidate_set_size(max_bitmaps: int, cardinality: int) -> int:
+    """Size of ``TimeOptAlg``'s candidate set **I** (the paper's Figure 14).
+
+    Counts every k-component multiset with coverage and space at most the
+    budget for ``n <= k < n'``, plus the ``n'``-component time-optimal
+    index; 1 when the algorithm returns at its early exit.
+    """
+    _check_budget(max_bitmaps, cardinality)
+    n0 = _smallest_feasible_n(max_bitmaps, cardinality)
+    if costmodel.space_range(time_optimal_base(cardinality, n0)) <= max_bitmaps:
+        return 1
+    n1 = _smallest_time_optimal_fit(max_bitmaps, cardinality, n0)
+    count = 1  # the n1-component time-optimal index
+    for k in range(n0, n1):
+        count += sum(
+            1
+            for _ in enumerate_bases(
+                cardinality,
+                max_space=max_bitmaps,
+                exact_n=k,
+                tight_only=False,
+                necessary_only=False,
+            )
+        )
+    return count
+
+
+def _smallest_feasible_n(max_bitmaps: int, cardinality: int) -> int:
+    for n in range(1, max_components(cardinality) + 1):
+        if space_optimal_bitmaps(cardinality, n) <= max_bitmaps:
+            return n
+    raise OptimizationError(
+        f"space budget of {max_bitmaps} bitmaps is below the global "
+        f"minimum for cardinality {cardinality}"
+    )
+
+
+def _smallest_time_optimal_fit(
+    max_bitmaps: int, cardinality: int, n_start: int
+) -> int:
+    for n in range(n_start, max_components(cardinality) + 1):
+        if costmodel.space_range(time_optimal_base(cardinality, n)) <= max_bitmaps:
+            return n
+    raise OptimizationError(
+        f"space budget of {max_bitmaps} bitmaps is below the global "
+        f"minimum for cardinality {cardinality}"
+    )
+
+
+def _check_budget(max_bitmaps: int, cardinality: int) -> None:
+    minimum = max_components(cardinality)
+    if max_bitmaps < minimum:
+        raise OptimizationError(
+            f"space budget {max_bitmaps} is below the minimum of {minimum} "
+            f"bitmaps (the base-2 index) for cardinality {cardinality}"
+        )

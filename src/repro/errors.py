@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` bitmap-index library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without also catching unrelated Python
+errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class InvalidBaseError(ReproError, ValueError):
+    """A decomposition base is not well-defined.
+
+    The paper requires every base number to satisfy ``b_i >= 2`` and the
+    product of base numbers to cover the attribute cardinality.
+    """
+
+
+class ValueOutOfRangeError(ReproError, ValueError):
+    """An attribute value lies outside ``[0, C)`` for the index at hand."""
+
+
+class LengthMismatchError(ReproError, ValueError):
+    """Two bitvectors of different lengths were combined."""
+
+
+class InvalidPredicateError(ReproError, ValueError):
+    """A selection predicate uses an unknown comparison operator."""
+
+
+class StorageError(ReproError):
+    """Base class for simulated-storage failures."""
+
+
+class FileMissingError(StorageError, KeyError):
+    """A bitmap file was requested that does not exist on the disk."""
+
+
+class CorruptFileError(StorageError):
+    """A stored bitmap file failed its integrity checks on read."""
+
+
+class BufferConfigError(ReproError, ValueError):
+    """A buffer assignment is not well-defined for the index it targets."""
+
+
+class OptimizationError(ReproError):
+    """An index-optimization routine cannot satisfy its constraints.
+
+    Raised, for example, when a space budget is below the global
+    space-optimal index size, so no feasible index exists.
+    """

@@ -1,0 +1,43 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every module exposes ``run(quick: bool = True, **params)`` returning one
+or more :class:`~repro.experiments.harness.ExperimentResult` objects whose
+rows reproduce the corresponding artifact of the paper.  ``quick=True``
+uses scaled-down parameters suitable for CI; ``quick=False`` runs the
+paper-scale configuration.
+
+Run from the command line::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig9 --full
+    python -m repro.experiments all
+"""
+
+from repro.experiments.harness import ExperimentResult, format_table
+
+__all__ = ["ExperimentResult", "format_table", "EXPERIMENTS"]
+
+#: Registry of experiment ids to module names (import lazily to keep the
+#: package import cheap).
+EXPERIMENTS = (
+    "table1",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "table2",
+    "fig13",
+    "fig14",
+    "table3",
+    "table4",
+    "fig16",
+    "fig17",
+    "crossover",
+    # Extensions beyond the paper (see DESIGN.md §7):
+    "ablation_encodings",
+    "ablation_codecs",
+    "ablation_buffering",
+    "ablation_updates",
+    "ablation_query_skew",
+    "ablation_compressed_ops",
+)

@@ -1,0 +1,129 @@
+"""Command-line entry point for the experiment suite.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig9
+    python -m repro.experiments table2 --full
+    python -m repro.experiments all --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.harness import ExperimentResult, format_table, save_results
+
+
+def run_experiment(exp_id: str, quick: bool) -> list[ExperimentResult]:
+    """Import and run one experiment module, normalizing the return shape."""
+    module = importlib.import_module(f"repro.experiments.{exp_id}")
+    outcome = module.run(quick=quick)
+    if isinstance(outcome, ExperimentResult):
+        return [outcome]
+    return list(outcome)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id, 'all', 'list', or 'report' (claim audit)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run at paper scale instead of the quick configuration",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="directory to also save formatted tables into",
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="render an ASCII scatter of each result's plot series",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "report":
+        from repro.experiments.claims import format_report, verify_all
+
+        checks = verify_all(quick=not args.full)
+        report = format_report(checks)
+        print(report)
+        if args.out:
+            import os
+
+            os.makedirs(args.out, exist_ok=True)
+            path = os.path.join(args.out, "claim_report.md")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(report + "\n")
+            print(f"\nsaved {path}")
+        return 0 if all(c.passed for c in checks) else 1
+
+    if args.experiment == "list":
+        for exp_id in EXPERIMENTS:
+            module = importlib.import_module(f"repro.experiments.{exp_id}")
+            first_line = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{exp_id:10s} {first_line}")
+        return 0
+
+    targets = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    for exp_id in targets:
+        if exp_id not in EXPERIMENTS:
+            print(f"unknown experiment {exp_id!r}; try 'list'", file=sys.stderr)
+            return 2
+
+    all_results: list[ExperimentResult] = []
+    for exp_id in targets:
+        start = time.perf_counter()
+        results = run_experiment(exp_id, quick=not args.full)
+        elapsed = time.perf_counter() - start
+        for result in results:
+            print(format_table(result))
+            print()
+            if args.plot and result.series:
+                from repro.experiments.plotting import ascii_scatter
+
+                xlabel, ylabel = result.plot_axes
+                print(
+                    ascii_scatter(result.series, xlabel=xlabel, ylabel=ylabel)
+                )
+                print()
+                if args.out:
+                    import os
+
+                    from repro.experiments.plotting import svg_scatter
+
+                    os.makedirs(args.out, exist_ok=True)
+                    svg_path = os.path.join(args.out, f"{result.exp_id}.svg")
+                    with open(svg_path, "w", encoding="utf-8") as handle:
+                        handle.write(
+                            svg_scatter(
+                                result.series,
+                                xlabel=xlabel,
+                                ylabel=ylabel,
+                                title=result.title,
+                            )
+                        )
+                    print(f"saved {svg_path}\n")
+        print(f"[{exp_id} finished in {elapsed:.1f}s]\n")
+        all_results.extend(results)
+
+    if args.out:
+        for path in save_results(all_results, args.out):
+            print(f"saved {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,331 @@
+"""Self-auditing reproduction report.
+
+Each experiment reproduces one of the paper's artifacts; this module
+encodes the paper's *claims* about those artifacts as executable checks
+and produces a pass/fail report — the machine-checkable version of
+EXPERIMENTS.md.  Run it with::
+
+    python -m repro.experiments report [--full] [--out FILE]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.harness import ExperimentResult
+
+
+@dataclass(frozen=True)
+class ClaimCheck:
+    """One verified claim."""
+
+    exp_id: str
+    claim: str
+    passed: bool
+    detail: str
+
+
+def _check(exp_id, claim, passed, detail="") -> ClaimCheck:
+    return ClaimCheck(exp_id, claim, bool(passed), detail)
+
+
+def _table1(results: list[ExperimentResult]) -> list[ClaimCheck]:
+    (r,) = results
+    matches = all(row[-1] == "yes" for row in r.rows)
+    by_key = {(row[0], row[1], row[2]): row for row in r.rows}
+    ns = sorted({row[0] for row in r.rows})
+    one_less = all(
+        by_key[(n, "range_eval_opt", "A <= c")][9]
+        == by_key[(n, "range_eval", "A <= c")][9] - 1
+        for n in ns
+    )
+    ratio = sum(
+        by_key[(n, "range_eval_opt", "A <= c")][7]
+        / max(by_key[(n, "range_eval", "A <= c")][7], 1)
+        for n in ns
+    ) / len(ns)
+    return [
+        _check("table1", "measured worst cases equal closed forms", matches),
+        _check("table1", "RangeEval-Opt saves one scan per range predicate",
+               one_less),
+        _check("table1", "~50% fewer bitmap operations", ratio < 0.7,
+               f"mean ops ratio {ratio:.2f}"),
+    ]
+
+
+def _fig8(results: list[ExperimentResult]) -> list[ClaimCheck]:
+    (r,) = results
+    dominated = all(
+        row[3] <= row[2] + 1e-9 and row[5] <= row[4] + 1e-9 for row in r.rows
+    )
+    return [
+        _check("fig8", "RangeEval-Opt dominates on every base", dominated,
+               f"{len(r.rows)} bases"),
+    ]
+
+
+def _fig9(results: list[ExperimentResult]) -> list[ClaimCheck]:
+    checks = []
+    for r in results:
+        note = next(n for n in r.notes if "matched-or-beaten" in n)
+        covered, total = note.split()[0].split("/")
+        checks.append(
+            _check("fig9",
+                   f"range encoding dominates equality ({r.title.split('(')[-1]}",
+                   int(covered) >= 0.8 * int(total),
+                   f"{covered}/{total} front points"))
+    return checks
+
+
+def _fig10(results: list[ExperimentResult]) -> list[ClaimCheck]:
+    (r,) = results
+    note = next(n for n in r.notes if "space-optimal family" in n)
+    covered, total = note.split()[0].split("/")
+    return [
+        _check("fig10", "space-optimal family approximates the full Pareto front",
+               int(covered) >= int(total) / 2, f"{covered}/{total} on front"),
+    ]
+
+
+def _fig11(results: list[ExperimentResult]) -> list[ClaimCheck]:
+    (r,) = results
+    knee_rows = [row for row in r.rows if row[4]]
+    return [
+        _check("fig11", "the knee is the 2-component index",
+               len(knee_rows) == 1 and knee_rows[0][0] == 2),
+        _check("fig11", "gradient definition matches Theorem 7.1",
+               any("matches" in n for n in r.notes)),
+    ]
+
+
+def _table2(results: list[ExperimentResult]) -> list[ClaimCheck]:
+    (r,) = results
+    return [
+        _check("table2", "TimeOptHeur optimal for >= 95% of constraints",
+               all(row[2] >= 95.0 for row in r.rows),
+               "; ".join(f"C={row[0]}: {row[2]:.1f}%" for row in r.rows)),
+    ]
+
+
+def _fig13(results: list[ExperimentResult]) -> list[ClaimCheck]:
+    (r,) = results
+    return [
+        _check("fig13", "the constrained optimum lies within the [n, n') window",
+               all(row[6] == "yes" for row in r.rows)),
+    ]
+
+
+def _fig14(results: list[ExperimentResult]) -> list[ClaimCheck]:
+    (r,) = results
+    sizes = [row[1] for row in r.rows]
+    return [
+        _check("fig14", "candidate set blows up at intermediate budgets",
+               max(sizes) > 50, f"peak {max(sizes)}"),
+        _check("fig14", "early exit collapses |I| to 1 at generous budgets",
+               sizes[-1] == 1),
+    ]
+
+
+def _table3(results: list[ExperimentResult]) -> list[ClaimCheck]:
+    (r,) = results
+    by_name = {row[0]: row for row in r.rows}
+    return [
+        _check("table3", "quantity has attribute cardinality 50",
+               by_name["data set 1"][4] == 50),
+        _check("table3", "orderdate approaches 2406 distinct days",
+               by_name["data set 2"][4] >= 2000,
+               f"C={by_name['data set 2'][4]}"),
+    ]
+
+
+def _table4(results: list[ExperimentResult]) -> list[ClaimCheck]:
+    checks = []
+    for r in results:
+        first, last = r.rows[0], r.rows[-1]
+        checks.append(
+            _check("table4", f"cCS compresses best ({r.title.split('—')[-1].strip()})",
+                   first[3] <= first[2]))
+        checks.append(
+            _check("table4", "compression gain shrinks with decomposition",
+                   last[2] > first[2],
+                   f"cBS {first[2]:.1f}% -> {last[2]:.1f}%"))
+    return checks
+
+
+def _fig16(results: list[ExperimentResult]) -> list[ClaimCheck]:
+    (r,) = results
+    note = next(n for n in r.notes if "shape check" in n)
+    slower = note.split("cCS slower than BS for ")[1].split(" ")[0]
+    covered, total = slower.split("/")
+    return [
+        _check("fig16", "cCS slower than BS for most component counts",
+               int(covered) >= int(total) - 2, f"{covered}/{total}"),
+        _check("fig16", "BS and cBS comparable",
+               "within 35% for" in note),
+    ]
+
+
+def _fig17(results: list[ExperimentResult]) -> list[ClaimCheck]:
+    (r,) = results
+    times = [row[2] for row in r.rows]
+    monotone = all(times[i] >= times[i + 1] - 1e-12 for i in range(len(times) - 1))
+    return [
+        _check("fig17", "the tradeoff improves monotonically with buffering",
+               monotone),
+    ]
+
+
+def _crossover(results: list[ExperimentResult]) -> list[ClaimCheck]:
+    (r,) = results
+    observed = float(r.notes[0].rsplit(" ", 1)[1])
+    return [
+        _check("crossover", "bitmaps beat RID lists above selectivity 1/32",
+               abs(observed - 1 / 32) <= 0.01, f"observed {observed:.4f}"),
+    ]
+
+
+def _ablation_encodings(results: list[ExperimentResult]) -> list[ClaimCheck]:
+    r = results[-1]  # the largest cardinality
+    interval_single = next(
+        row for row in r.rows if row[0] == "interval" and "," not in row[1]
+    )
+    range_single = next(
+        row for row in r.rows if row[0] == "range" and "," not in row[1]
+    )
+    halved = interval_single[2] <= (range_single[2] + 1) // 2 + 1
+    return [
+        _check("ablation_encodings",
+               "interval encoding stores ~half of range encoding",
+               halved,
+               f"{interval_single[2]} vs {range_single[2]} bitmaps"),
+    ]
+
+
+def _ablation_codecs(results: list[ExperimentResult]) -> list[ClaimCheck]:
+    (r,) = results
+    ratios = {(row[0], row[1]): row[3] for row in r.rows}
+    return [
+        _check("ablation_codecs", "deflate beats WAH on uniform data",
+               ratios[("uniform", "zlib")] < ratios[("uniform", "wah")]),
+    ]
+
+
+def _ablation_buffering(results: list[ExperimentResult]) -> list[ClaimCheck]:
+    (r,) = results
+    tracks = all(abs(row[1] - row[3]) <= 0.25 for row in r.rows)
+    return [
+        _check("ablation_buffering", "pinned pool tracks the Eq. 5 model",
+               tracks),
+    ]
+
+
+def _ablation_updates(results: list[ExperimentResult]) -> list[ClaimCheck]:
+    (r,) = results
+    rows = {(row[0], row[2]): row[4] for row in r.rows}
+    return [
+        _check("ablation_updates",
+               "Value-List updates like a RID list; range encoding pays",
+               rows[(1, "equality")] <= 2.5
+               and rows[(1, "range")] > 3 * rows[(1, "equality")]),
+    ]
+
+
+def _ablation_query_skew(results: list[ExperimentResult]) -> list[ClaimCheck]:
+    (r,) = results
+    return [
+        _check("ablation_query_skew",
+               "the knee stays near-optimal under skewed constants",
+               all(row[4] <= 10.0 for row in r.rows),
+               f"worst degradation {max(row[4] for row in r.rows):.2f}%"),
+    ]
+
+
+def _ablation_compressed_ops(results: list[ExperimentResult]) -> list[ClaimCheck]:
+    (r,) = results
+    by_name = {row[0]: row for row in r.rows}
+    sorted_row = by_name["sorted"]
+    return [
+        _check("ablation_compressed_ops",
+               "compressed-domain AND beats decode+op on run-structured bitmaps",
+               sorted_row[2] < sorted_row[3],
+               f"{sorted_row[2]:.3f} vs {sorted_row[3]:.3f} ms"),
+        _check("ablation_compressed_ops",
+               "all strategies agree on the result",
+               all(row[5] == "yes" for row in r.rows)),
+    ]
+
+
+_CHECKERS = {
+    "table1": _table1,
+    "fig8": _fig8,
+    "fig9": _fig9,
+    "fig10": _fig10,
+    "fig11": _fig11,
+    "table2": _table2,
+    "fig13": _fig13,
+    "fig14": _fig14,
+    "table3": _table3,
+    "table4": _table4,
+    "fig16": _fig16,
+    "fig17": _fig17,
+    "crossover": _crossover,
+    "ablation_encodings": _ablation_encodings,
+    "ablation_codecs": _ablation_codecs,
+    "ablation_buffering": _ablation_buffering,
+    "ablation_updates": _ablation_updates,
+    "ablation_query_skew": _ablation_query_skew,
+    "ablation_compressed_ops": _ablation_compressed_ops,
+}
+
+
+def verify_experiment(
+    exp_id: str, results: list[ExperimentResult]
+) -> list[ClaimCheck]:
+    """Run the claim checks of one experiment over its results."""
+    checker = _CHECKERS.get(exp_id)
+    if checker is None:
+        return []
+    try:
+        return checker(results)
+    except Exception as exc:  # a malformed result is itself a failure
+        return [_check(exp_id, "claim verification ran", False, repr(exc))]
+
+
+#: Per-experiment parameter overrides needed for the claims to be
+#: physically meaningful even in quick mode (see bench_fig16: the
+#: decompression-dominance effect needs bitmaps large enough that
+#: transfer + inflate outweigh per-file seeks).
+_PARAM_OVERRIDES: dict[str, dict] = {
+    "fig16": {"num_rows": 60_000},
+}
+
+
+def verify_all(quick: bool = True) -> list[ClaimCheck]:
+    """Run every experiment and verify every claim."""
+    import importlib
+
+    checks: list[ClaimCheck] = []
+    for exp_id in _CHECKERS:
+        module = importlib.import_module(f"repro.experiments.{exp_id}")
+        outcome = module.run(quick=quick, **_PARAM_OVERRIDES.get(exp_id, {}))
+        if isinstance(outcome, ExperimentResult):
+            outcome = [outcome]
+        checks.extend(verify_experiment(exp_id, list(outcome)))
+    return checks
+
+
+def format_report(checks: list[ClaimCheck]) -> str:
+    """Render the checks as a markdown report."""
+    passed = sum(1 for c in checks if c.passed)
+    lines = [
+        "# Reproduction claim report",
+        "",
+        f"**{passed}/{len(checks)} claims reproduced.**",
+        "",
+        "| experiment | claim | verdict | detail |",
+        "|---|---|---|---|",
+    ]
+    for c in checks:
+        verdict = "PASS" if c.passed else "FAIL"
+        lines.append(f"| {c.exp_id} | {c.claim} | {verdict} | {c.detail} |")
+    return "\n".join(lines)

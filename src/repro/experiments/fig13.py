@@ -1,0 +1,73 @@
+"""Figure 13 — bounds on the component count of the constrained optimum.
+
+Algorithm ``TimeOptAlg`` narrows its search to component counts
+``n <= k < n'``: ``n`` is the smallest count whose *space-optimal* index
+fits the budget (no fewer components can fit at all, by Theorem 6.1(2)),
+and ``n'`` the smallest count whose *time-optimal* index fits (no more
+components can help, by Theorem 6.1(4)).  The paper illustrates the two
+bounding cases schematically; this experiment computes the actual window
+for a sweep of budgets and verifies both bounding arguments hold.
+"""
+
+from __future__ import annotations
+
+from repro.core import costmodel
+from repro.core.optimize import (
+    max_components,
+    space_optimal_bitmaps,
+    time_optimal_base,
+    time_optimal_under_space,
+)
+from repro.experiments.harness import ExperimentResult
+
+
+def _window(budget: int, cardinality: int) -> tuple[int, int]:
+    """The (n, n') bounds of TimeOptAlg's search for one budget."""
+    n0 = next(
+        n
+        for n in range(1, max_components(cardinality) + 1)
+        if space_optimal_bitmaps(cardinality, n) <= budget
+    )
+    n1 = next(
+        n
+        for n in range(n0, max_components(cardinality) + 1)
+        if costmodel.space_range(time_optimal_base(cardinality, n)) <= budget
+    )
+    return n0, n1
+
+
+def run(
+    quick: bool = True,
+    cardinality: int | None = None,
+    budgets: tuple[int, ...] | None = None,
+) -> ExperimentResult:
+    """The search window per budget, with the optimum's position in it."""
+    c = cardinality if cardinality is not None else (50 if quick else 100)
+    if budgets is None:
+        lo = max_components(c)
+        budgets = tuple(
+            sorted({lo, lo + 2, lo + 5, (lo + c) // 4, (lo + c) // 2, c - 1})
+        )
+    result = ExperimentResult(
+        "fig13",
+        f"TimeOptAlg search-window bounds (C={c})",
+        ["M", "n (lower bound)", "n' (upper bound)", "window size",
+         "optimum base", "optimum n", "in window"],
+    )
+    violations = 0
+    for budget in budgets:
+        n0, n1 = _window(budget, c)
+        optimum = time_optimal_under_space(budget, c)
+        in_window = n0 <= optimum.n <= n1
+        if not in_window:
+            violations += 1
+        result.add(
+            budget, n0, n1, max(n1 - n0, 0) + 1, str(optimum), optimum.n,
+            "yes" if in_window else "NO",
+        )
+    result.note(
+        f"the constrained optimum fell inside [n, n'] for "
+        f"{len(budgets) - violations}/{len(budgets)} budgets (the paper's "
+        f"Theorem 6.1 bounding argument)"
+    )
+    return result

@@ -1,0 +1,47 @@
+"""Figure 14 — size of TimeOptAlg's candidate set vs the space constraint.
+
+The exact algorithm's cost is driven by the candidate set
+``I = {k-component indexes, n <= k < n', with coverage and space <= M}``;
+the paper plots ``|I|`` against ``M`` for ``C = 1000`` to motivate the
+heuristic.  The shape is a hump: tiny for very small budgets (few bases
+fit), collapsing to 1 once the early exit triggers (the n-component
+time-optimal index fits), and large in between.
+"""
+
+from __future__ import annotations
+
+from repro.core.optimize import candidate_set_size, max_components
+from repro.experiments.harness import ExperimentResult
+
+
+def run(
+    quick: bool = True,
+    cardinality: int | None = None,
+    budgets: tuple[int, ...] | None = None,
+) -> ExperimentResult:
+    """Reproduce Figure 14: ``|I|`` as a function of ``M``."""
+    c = cardinality if cardinality is not None else (100 if quick else 1000)
+    if budgets is None:
+        lo = max_components(c)
+        hi = c - 1
+        count = 12 if quick else 24
+        span = max(hi - lo, 1)
+        budgets = tuple(
+            sorted({lo + (span * i) // (count - 1) for i in range(count)})
+        )
+    result = ExperimentResult(
+        "fig14",
+        f"Candidate-set size |I| vs space constraint M (C={c})",
+        ["M", "|I|"],
+    )
+    result.plot_axes = ("space constraint M", "|I|")
+    for m in budgets:
+        size = candidate_set_size(m, c)
+        result.add(m, size)
+        result.add_point("|I|", m, size)
+    peak = max(result.rows, key=lambda row: row[1])
+    result.note(
+        f"peak |I| = {peak[1]} at M = {peak[0]}; |I| = 1 wherever the "
+        f"early exit (time-optimal index fits) triggers"
+    )
+    return result

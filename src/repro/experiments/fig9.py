@@ -1,0 +1,79 @@
+"""Figure 9 — space-time tradeoff: range vs equality encoding.
+
+For each attribute cardinality the paper plots every index's
+(space, time) under both encodings; range encoding dominates equality
+encoding almost everywhere (only for small regions of very low space do
+they touch), which motivates restricting the rest of the paper to
+range-encoded indexes.
+
+This experiment enumerates all tight decompositions, computes the
+Theorem 5.1 metrics for both encodings, reports the two Pareto fronts,
+and quantifies dominance: the fraction of the equality front that is
+dominated by some range-encoded design.
+"""
+
+from __future__ import annotations
+
+from repro.core import costmodel
+from repro.core.encoding import EncodingScheme
+from repro.core.optimize import DesignPoint, enumerate_bases, pareto_front
+from repro.experiments.harness import ExperimentResult
+
+
+def _points(cardinality: int, encoding: EncodingScheme) -> list[DesignPoint]:
+    return [
+        DesignPoint(
+            base,
+            costmodel.space(base, encoding),
+            costmodel.time(base, encoding),
+        )
+        for base in enumerate_bases(cardinality, tight_only=True)
+    ]
+
+
+def run(
+    quick: bool = True, cardinalities: tuple[int, ...] | None = None
+) -> list[ExperimentResult]:
+    """Reproduce Figure 9(a-c): one result per cardinality."""
+    cs = cardinalities if cardinalities is not None else (
+        (25, 100) if quick else (25, 100, 1000)
+    )
+    results = []
+    for c in cs:
+        range_points = _points(c, EncodingScheme.RANGE)
+        equality_points = _points(c, EncodingScheme.EQUALITY)
+        range_front = pareto_front(range_points)
+        equality_front = pareto_front(equality_points)
+
+        result = ExperimentResult(
+            "fig9",
+            f"Space-time tradeoff, range vs equality encoding (C={c})",
+            ["encoding", "base", "space", "time"],
+        )
+        result.plot_axes = ("space (bitmaps)", "time (expected scans)")
+        for point in range_front:
+            result.add("range", str(point.base), point.space, point.time)
+            result.add_point("range", point.space, point.time)
+        for point in equality_front:
+            result.add("equality", str(point.base), point.space, point.time)
+            result.add_point("equality", point.space, point.time)
+
+        dominated = 0
+        for eq in equality_front:
+            if any(
+                r.space <= eq.space and r.time <= eq.time + 1e-12
+                for r in range_front
+            ):
+                dominated += 1
+        result.note(
+            f"{len(range_points)} tight designs enumerated per encoding; "
+            f"Pareto sizes: range={len(range_front)}, "
+            f"equality={len(equality_front)}"
+        )
+        result.note(
+            f"{dominated}/{len(equality_front)} equality-front designs are "
+            f"matched-or-beaten by a range-encoded design (paper: range "
+            f"encoding offers the better tradeoff in most cases)"
+        )
+        results.append(result)
+    return results

@@ -1,0 +1,78 @@
+"""Shared machinery for the experiment modules.
+
+Results are plain tables (headers + rows) with free-form notes; the
+formatter produces the aligned text the benchmark harness prints and that
+EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table or figure series."""
+
+    exp_id: str
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    #: Named (x, y) point series for ``--plot`` rendering; axis labels in
+    #: ``plot_axes`` as (xlabel, ylabel).
+    series: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+    plot_axes: tuple[str, str] = ("x", "y")
+
+    def add(self, *values) -> None:
+        """Append one row."""
+        self.rows.append(list(values))
+
+    def note(self, text: str) -> None:
+        """Attach a free-form note shown under the table."""
+        self.notes.append(text)
+
+    def add_point(self, label: str, x: float, y: float) -> None:
+        """Record one point of a named plot series."""
+        self.series.setdefault(label, []).append((float(x), float(y)))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(result: ExperimentResult) -> str:
+    """Render a result as an aligned text table."""
+    headers = [str(h) for h in result.headers]
+    str_rows = [[_fmt(v) for v in row] for row in result.rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [f"== {result.exp_id}: {result.title} =="]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def save_results(results: list[ExperimentResult], directory: str) -> list[str]:
+    """Write each result's formatted table to ``<directory>/<exp_id>.txt``."""
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    by_id: dict[str, list[ExperimentResult]] = {}
+    for result in results:
+        by_id.setdefault(result.exp_id, []).append(result)
+    for exp_id, group in by_id.items():
+        path = os.path.join(directory, f"{exp_id}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n\n".join(format_table(r) for r in group))
+            handle.write("\n")
+        paths.append(path)
+    return paths

@@ -1,0 +1,55 @@
+"""Instrumented measurement helpers shared by the experiments."""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable
+
+from repro.core.evaluation import Predicate, evaluate
+from repro.core.index import BitmapSource
+from repro.stats import ExecutionStats
+
+
+def aggregate_costs(
+    source: BitmapSource,
+    queries: Iterable[Predicate],
+    algorithm: str = "auto",
+    reset_cache: bool = False,
+    timed: bool = False,
+) -> tuple[ExecutionStats, int, float]:
+    """Evaluate every query, returning (total stats, query count, seconds).
+
+    ``reset_cache=True`` clears the source's per-query decode cache between
+    queries (required for the CS/IS storage schemes).  ``timed=True``
+    additionally records wall-clock evaluation time.
+    """
+    total = ExecutionStats()
+    count = 0
+    elapsed = 0.0
+    for predicate in queries:
+        stats = ExecutionStats()
+        if timed:
+            start = time.perf_counter()
+            evaluate(source, predicate, algorithm=algorithm, stats=stats)
+            elapsed += time.perf_counter() - start
+        else:
+            evaluate(source, predicate, algorithm=algorithm, stats=stats)
+        total.merge(stats)
+        count += 1
+        if reset_cache:
+            reset = getattr(source, "reset_cache", None)
+            if callable(reset):
+                reset()
+    return total, count, elapsed
+
+
+def average_scans_and_ops(
+    source: BitmapSource,
+    queries: Iterable[Predicate],
+    algorithm: str = "auto",
+) -> tuple[float, float]:
+    """Average (scans, bitmap operations) per query over ``queries``."""
+    total, count, _ = aggregate_costs(source, queries, algorithm)
+    if count == 0:
+        return 0.0, 0.0
+    return total.scans / count, total.ops / count

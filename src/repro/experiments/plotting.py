@@ -1,0 +1,191 @@
+"""Terminal scatter plots for the figure experiments.
+
+The paper's figures are space-time scatter plots and per-parameter
+series.  :func:`ascii_scatter` renders those as text so
+``python -m repro.experiments <fig> --plot`` can show the *shape* of each
+reproduced figure without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Marker characters assigned to series in declaration order.
+MARKERS = "*o+x#@%&"
+
+
+def ascii_scatter(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 72,
+    height: int = 20,
+    xlabel: str = "x",
+    ylabel: str = "y",
+    logx: bool = False,
+    logy: bool = False,
+) -> str:
+    """Render named point series on one character grid.
+
+    Later series draw over earlier ones where cells collide.  Log axes
+    require strictly positive coordinates.
+    """
+    named = [(name, points) for name, points in series.items() if points]
+    if not named:
+        return "(no data to plot)"
+    if len(named) > len(MARKERS):
+        raise ValueError(f"at most {len(MARKERS)} series supported")
+
+    def tx(value: float) -> float:
+        if logx:
+            if value <= 0:
+                raise ValueError("log x-axis needs positive values")
+            return math.log10(value)
+        return value
+
+    def ty(value: float) -> float:
+        if logy:
+            if value <= 0:
+                raise ValueError("log y-axis needs positive values")
+            return math.log10(value)
+        return value
+
+    xs = [tx(x) for _, points in named for x, _ in points]
+    ys = [ty(y) for _, points in named for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, points), marker in zip(named, MARKERS):
+        for x, y in points:
+            col = int((tx(x) - x_lo) / x_span * (width - 1))
+            row = int((ty(y) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    top_label = f"{y_hi:.4g}" if not logy else f"{10 ** y_hi:.4g}"
+    bottom_label = f"{y_lo:.4g}" if not logy else f"{10 ** y_lo:.4g}"
+    margin = max(len(top_label), len(bottom_label), len(ylabel))
+    lines.append(f"{ylabel.rjust(margin)} ")
+    for r, row_chars in enumerate(grid):
+        if r == 0:
+            prefix = top_label.rjust(margin)
+        elif r == height - 1:
+            prefix = bottom_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix} |{''.join(row_chars)}")
+    lines.append(f"{' ' * margin} +{'-' * width}")
+    left = f"{x_lo:.4g}" if not logx else f"{10 ** x_lo:.4g}"
+    right = f"{x_hi:.4g}" if not logx else f"{10 ** x_hi:.4g}"
+    axis = f"{left}{xlabel.center(width - len(left) - len(right))}{right}"
+    lines.append(f"{' ' * margin}  {axis}")
+    legend = "   ".join(
+        f"{marker} {name}" for (name, _), marker in zip(named, MARKERS)
+    )
+    lines.append(f"{' ' * margin}  legend: {legend}")
+    return "\n".join(lines)
+
+
+#: A colorblind-safe categorical palette for the SVG output.
+SVG_COLORS = (
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7",
+    "#E69F00", "#56B4E9", "#F0E442", "#000000",
+)
+
+
+def svg_scatter(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 640,
+    height: int = 420,
+    xlabel: str = "x",
+    ylabel: str = "y",
+    title: str = "",
+) -> str:
+    """Render named point series as a standalone SVG document.
+
+    Dependency-free companion to :func:`ascii_scatter`, used by the
+    experiment CLI to save publication-style versions of the reproduced
+    figures (``--plot --out DIR``).
+    """
+    named = [(name, points) for name, points in series.items() if points]
+    if not named:
+        raise ValueError("no data to plot")
+    if len(named) > len(SVG_COLORS):
+        raise ValueError(f"at most {len(SVG_COLORS)} series supported")
+
+    margin = 56
+    plot_w = width - 2 * margin
+    plot_h = height - 2 * margin
+    xs = [x for _, pts in named for x, _ in pts]
+    ys = [y for _, pts in named for _, y in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    def px(x: float) -> float:
+        return margin + (x - x_lo) / x_span * plot_w
+
+    def py(y: float) -> float:
+        return height - margin - (y - y_lo) / y_span * plot_h
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="12">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<rect x="{margin}" y="{margin}" width="{plot_w}" '
+        f'height="{plot_h}" fill="none" stroke="#999"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2}" y="{margin / 2}" text-anchor="middle" '
+            f'font-size="14">{_esc(title)}</text>'
+        )
+    parts.append(
+        f'<text x="{width / 2}" y="{height - 12}" text-anchor="middle">'
+        f"{_esc(xlabel)}</text>"
+    )
+    parts.append(
+        f'<text x="16" y="{height / 2}" text-anchor="middle" '
+        f'transform="rotate(-90 16 {height / 2})">{_esc(ylabel)}</text>'
+    )
+    # Axis extent labels.
+    parts.append(
+        f'<text x="{margin}" y="{height - margin + 16}">{x_lo:.4g}</text>'
+    )
+    parts.append(
+        f'<text x="{width - margin}" y="{height - margin + 16}" '
+        f'text-anchor="end">{x_hi:.4g}</text>'
+    )
+    parts.append(
+        f'<text x="{margin - 4}" y="{height - margin}" '
+        f'text-anchor="end">{y_lo:.4g}</text>'
+    )
+    parts.append(
+        f'<text x="{margin - 4}" y="{margin + 10}" '
+        f'text-anchor="end">{y_hi:.4g}</text>'
+    )
+    for (name, points), color in zip(named, SVG_COLORS):
+        for x, y in points:
+            parts.append(
+                f'<circle cx="{px(x):.1f}" cy="{py(y):.1f}" r="3.5" '
+                f'fill="{color}" fill-opacity="0.8"/>'
+            )
+    for i, ((name, _), color) in enumerate(zip(named, SVG_COLORS)):
+        ly = margin + 14 + 16 * i
+        parts.append(
+            f'<circle cx="{width - margin - 110}" cy="{ly - 4}" r="4" '
+            f'fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{width - margin - 100}" y="{ly}">{_esc(name)}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _esc(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )

@@ -1,0 +1,78 @@
+"""Table 2 — effectiveness of the heuristic space-constrained search.
+
+For each attribute cardinality, the paper sweeps the space constraint
+``M`` and compares Algorithm ``TimeOptHeur`` against the exact
+``TimeOptAlg``: the fraction of constraints where the heuristic returns an
+optimal index (>= 97% in the paper) and the maximum gap in expected
+bitmap scans where it does not.
+"""
+
+from __future__ import annotations
+
+from repro.core import costmodel
+from repro.core.optimize import (
+    max_components,
+    time_optimal_under_space,
+    time_optimal_under_space_heuristic,
+)
+from repro.experiments.harness import ExperimentResult
+
+
+def sweep(cardinality: int, step: int = 1) -> tuple[int, int, float]:
+    """Compare heuristic vs exact for every feasible M (with stride ``step``).
+
+    Returns (constraints evaluated, constraints where heuristic optimal,
+    max scan-count gap).
+    """
+    lo = max_components(cardinality)
+    optimal = 0
+    total = 0
+    max_gap = 0.0
+    for m in range(lo, cardinality, step):
+        exact = time_optimal_under_space(m, cardinality)
+        heuristic = time_optimal_under_space_heuristic(m, cardinality)
+        t_exact = costmodel.time_range(exact)
+        t_heur = costmodel.time_range(heuristic)
+        total += 1
+        if t_heur <= t_exact + 1e-9:
+            optimal += 1
+        else:
+            max_gap = max(max_gap, t_heur - t_exact)
+    return total, optimal, max_gap
+
+
+def run(
+    quick: bool = True,
+    cardinalities: tuple[int, ...] | None = None,
+) -> ExperimentResult:
+    """Reproduce Table 2.
+
+    Quick mode sweeps small cardinalities exhaustively; the full run adds
+    the paper-scale cardinalities with a strided sweep to keep the exact
+    algorithm's enumeration affordable.
+    """
+    if cardinalities is not None:
+        plan = [(c, 1) for c in cardinalities]
+    elif quick:
+        plan = [(25, 1), (50, 1), (100, 1)]
+    else:
+        plan = [(100, 1), (250, 1), (500, 2), (1000, 5)]
+
+    result = ExperimentResult(
+        "table2",
+        "Effectiveness of TimeOptHeur vs exact TimeOptAlg",
+        ["C", "constraints", "% optimal", "max scan gap"],
+    )
+    for cardinality, step in plan:
+        total, optimal, max_gap = sweep(cardinality, step)
+        result.add(
+            cardinality,
+            total,
+            100.0 * optimal / total if total else 100.0,
+            max_gap,
+        )
+    result.note(
+        "paper reports the heuristic optimal for >= 97% of constraints with "
+        "small maximum gaps in expected scans"
+    )
+    return result

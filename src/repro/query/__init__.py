@@ -1,0 +1,33 @@
+"""Query layer: selection predicates, access plans, and a verifying executor.
+
+Grounds the paper's introduction: the three conventional plans for a
+high-selectivity conjunctive selection — (P1) full relation scan,
+(P2) one index scan plus a partial relation scan, (P3) per-predicate index
+scans merged — with byte-read accounting, so the bitmap-vs-RID-list
+crossover analysis (``N <= 32 n``) is executable.
+"""
+
+from repro.query.predicate import AttributePredicate, parse_predicate
+from repro.query.plans import (
+    PlanCost,
+    plan_p1_cost,
+    plan_p2_cost,
+    plan_p3_bitmap_cost,
+    plan_p3_ridlist_cost,
+    ridlist_crossover_selectivity,
+)
+from repro.query.executor import AccessPath, QueryResult, execute
+
+__all__ = [
+    "AccessPath",
+    "AttributePredicate",
+    "PlanCost",
+    "QueryResult",
+    "execute",
+    "parse_predicate",
+    "plan_p1_cost",
+    "plan_p2_cost",
+    "plan_p3_bitmap_cost",
+    "plan_p3_ridlist_cost",
+    "ridlist_crossover_selectivity",
+]

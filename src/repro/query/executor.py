@@ -1,0 +1,160 @@
+"""A verifying query executor over the access paths of the library.
+
+``execute`` evaluates one :class:`~repro.query.predicate.AttributePredicate`
+against a relation through a chosen access path — full scan, bitmap index,
+RID-list index, or projection index — and (by default) cross-checks the
+result against the ground-truth scan.  Bitmap access translates actual
+values to the rank domain through the column dictionary first, so
+predicates on non-consecutive domains (dates, floats, strings) work
+unmodified.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.evaluation import Predicate, evaluate
+from repro.core.index import BitmapIndex, BitmapSource
+from repro.errors import InvalidPredicateError, ReproError
+from repro.query.predicate import AttributePredicate
+from repro.relation.projection import ProjectionIndex
+from repro.relation.relation import Relation
+from repro.relation.rid_index import RIDListIndex
+from repro.stats import ExecutionStats
+
+
+class AccessPath(enum.Enum):
+    """The ways a selection predicate can be evaluated."""
+
+    SCAN = "scan"
+    BITMAP = "bitmap"
+    RID_LIST = "rid_list"
+    PROJECTION = "projection"
+
+
+@dataclass
+class QueryResult:
+    """RIDs satisfying a predicate plus the execution statistics."""
+
+    rids: np.ndarray
+    access_path: AccessPath
+    stats: ExecutionStats = field(default_factory=ExecutionStats)
+
+    @property
+    def count(self) -> int:
+        return len(self.rids)
+
+
+class VerificationError(ReproError):
+    """An access path disagreed with the ground-truth scan."""
+
+
+def execute(
+    relation: Relation,
+    predicate: AttributePredicate,
+    access_path: AccessPath = AccessPath.SCAN,
+    index: BitmapSource | RIDListIndex | ProjectionIndex | None = None,
+    verify: bool = True,
+) -> QueryResult:
+    """Evaluate ``predicate`` on ``relation`` via the chosen access path.
+
+    ``index`` must match the access path: a bitmap source (built over the
+    column *codes* — see :func:`bitmap_index_for`), a
+    :class:`RIDListIndex`, or a :class:`ProjectionIndex`.  With
+    ``verify=True`` (default) the result is checked against a full scan
+    and a :class:`VerificationError` raised on any disagreement.
+    """
+    stats = ExecutionStats()
+    column = relation.column(predicate.attribute)
+
+    if access_path is AccessPath.SCAN:
+        rids = relation.scan(predicate.attribute, predicate.op, predicate.value)
+        stats.bytes_read += relation.num_rows * relation.row_bytes
+    elif access_path is AccessPath.BITMAP:
+        if index is None:
+            raise InvalidPredicateError("bitmap access path needs an index")
+        op, code = column.code_bounds(predicate.op, predicate.value)
+        result = evaluate(index, Predicate(op, code), stats=stats)
+        rids = result.indices()
+    elif access_path is AccessPath.RID_LIST:
+        if not isinstance(index, RIDListIndex):
+            raise InvalidPredicateError("rid_list access path needs a RIDListIndex")
+        rids = index.lookup(predicate.op, predicate.value)
+        stats.bytes_read += index.bytes_for(predicate.op, predicate.value)
+    elif access_path is AccessPath.PROJECTION:
+        if not isinstance(index, ProjectionIndex):
+            raise InvalidPredicateError(
+                "projection access path needs a ProjectionIndex"
+            )
+        code_op, code = column.code_bounds(predicate.op, predicate.value)
+        rids = index.lookup(code_op, code)
+        stats.bytes_read += index.size_bytes
+    else:  # pragma: no cover - exhaustive enum
+        raise InvalidPredicateError(f"unknown access path {access_path!r}")
+
+    if verify:
+        truth = relation.scan(predicate.attribute, predicate.op, predicate.value)
+        if not np.array_equal(np.sort(rids), truth):
+            raise VerificationError(
+                f"{access_path.value} path returned {len(rids)} RIDs for "
+                f"'{predicate}'; the scan found {len(truth)}"
+            )
+    return QueryResult(rids=np.sort(rids), access_path=access_path, stats=stats)
+
+
+def bitmap_index_for(relation: Relation, attribute: str, **kwargs) -> BitmapIndex:
+    """Build a bitmap index over a relation column's code domain.
+
+    Keyword arguments are forwarded to :class:`BitmapIndex` (``base``,
+    ``encoding``, …).  The index is built on the column's integer codes,
+    matching the dictionary translation in :func:`execute`.
+    """
+    column = relation.column(attribute)
+    return BitmapIndex(column.codes, cardinality=column.cardinality, **kwargs)
+
+
+def conjunctive_select(
+    relation: Relation,
+    predicates: list[AttributePredicate],
+    indexes: dict[str, BitmapSource],
+    verify: bool = True,
+) -> QueryResult:
+    """Plan P3 with bitmap indexes: per-predicate evaluation, AND-merged.
+
+    Every predicate attribute must have a bitmap index in ``indexes``.
+    """
+    if not predicates:
+        raise InvalidPredicateError("need at least one predicate")
+    stats = ExecutionStats()
+    acc = None
+    for pred in predicates:
+        column = relation.column(pred.attribute)
+        try:
+            index = indexes[pred.attribute]
+        except KeyError:
+            raise InvalidPredicateError(
+                f"no bitmap index for attribute {pred.attribute!r}"
+            ) from None
+        op, code = column.code_bounds(pred.op, pred.value)
+        bitmap = evaluate(index, Predicate(op, code), stats=stats)
+        if acc is None:
+            acc = bitmap
+        else:
+            stats.ands += 1
+            acc = acc & bitmap
+    assert acc is not None
+    rids = acc.indices()
+    if verify:
+        mask = np.ones(relation.num_rows, dtype=bool)
+        for pred in predicates:
+            mask &= pred.matches(relation.column(pred.attribute).values)
+        truth = np.nonzero(mask)[0]
+        if not np.array_equal(rids, truth):
+            raise VerificationError(
+                f"P3 bitmap plan returned {len(rids)} RIDs; "
+                f"the scan found {len(truth)}"
+            )
+    return QueryResult(rids=rids, access_path=AccessPath.BITMAP, stats=stats)

@@ -1,0 +1,82 @@
+"""Relations: named collections of equal-length columns.
+
+The relation is deliberately minimal — enough to ground the paper's plan
+cost analysis (full scans read ``N * row_bytes`` bytes) and to serve as
+the source of truth for verifying every index-based access path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValueOutOfRangeError
+from repro.relation.column import Column
+
+
+class Relation:
+    """A named relation of columns in RID order."""
+
+    def __init__(self, name: str, columns: list[Column]):
+        if not columns:
+            raise ValueOutOfRangeError("a relation needs at least one column")
+        rows = columns[0].num_rows
+        for col in columns:
+            if col.num_rows != rows:
+                raise ValueOutOfRangeError(
+                    f"column {col.name!r} has {col.num_rows} rows; "
+                    f"expected {rows}"
+                )
+        self.name = name
+        self.columns = {col.name: col for col in columns}
+        if len(self.columns) != len(columns):
+            raise ValueOutOfRangeError("duplicate column names")
+        self._rows = rows
+
+    @classmethod
+    def from_dict(cls, name: str, data: dict[str, np.ndarray]) -> "Relation":
+        """Build a relation from ``{column_name: values}``."""
+        return cls(name, [Column(cname, values) for cname, values in data.items()])
+
+    @property
+    def num_rows(self) -> int:
+        """Relation cardinality (the paper's ``N``)."""
+        return self._rows
+
+    @property
+    def row_bytes(self) -> int:
+        """Logical bytes per tuple (sum of column value widths)."""
+        return sum(col.value_size_bytes for col in self.columns.values())
+
+    def column(self, name: str) -> Column:
+        try:
+            return self.columns[name]
+        except KeyError:
+            known = ", ".join(sorted(self.columns))
+            raise KeyError(
+                f"relation {self.name!r} has no column {name!r}; "
+                f"columns: {known}"
+            ) from None
+
+    def scan(self, attribute: str, op: str, value) -> np.ndarray:
+        """Full-scan evaluation of ``attribute op value``: matching RIDs."""
+        col = self.column(attribute)
+        v = col.values
+        if op == "<":
+            mask = v < value
+        elif op == "<=":
+            mask = v <= value
+        elif op == "=":
+            mask = v == value
+        elif op == "!=":
+            mask = v != value
+        elif op == ">=":
+            mask = v >= value
+        elif op == ">":
+            mask = v > value
+        else:
+            raise ValueOutOfRangeError(f"unknown operator {op!r}")
+        return np.nonzero(mask)[0]
+
+    def __repr__(self) -> str:
+        cols = ", ".join(sorted(self.columns))
+        return f"Relation({self.name!r}, rows={self.num_rows}, columns=[{cols}])"

@@ -1,0 +1,77 @@
+"""Execution statistics shared by evaluation, storage, and buffering.
+
+The paper's two cost metrics are the number of *bitmap scans* (I/O) and the
+number of *bitmap operations* (CPU).  :class:`ExecutionStats` records both,
+plus the byte-level and buffering detail used by the Section 9 and 10
+experiments.  A single stats object is threaded through one query
+evaluation; experiments aggregate over many.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExecutionStats:
+    """Counters for one (or an aggregate of) query evaluations.
+
+    Attributes
+    ----------
+    scans:
+        Physical bitmap reads.  This is the paper's time metric: a read of
+        one stored bitmap from disk.  Buffer hits are *not* scans.
+    ands, ors, xors, nots:
+        Logical bitmap operations performed (the paper's CPU metric).
+    bytes_read:
+        Bytes fetched from (simulated) disk.
+    decompressed_bytes:
+        Bytes produced by codec decompression on the read path.
+    files_opened:
+        Bitmap-file open/scan events at the storage layer (one per file
+        read; CS/IS schemes may serve many bitmap fetches per file scan).
+    buffer_hits:
+        Bitmap fetches served from the buffer pool.
+    """
+
+    scans: int = 0
+    ands: int = 0
+    ors: int = 0
+    xors: int = 0
+    nots: int = 0
+    bytes_read: int = 0
+    decompressed_bytes: int = 0
+    files_opened: int = 0
+    buffer_hits: int = 0
+    io_seconds: float = field(default=0.0, repr=False)
+    cpu_seconds: float = field(default=0.0, repr=False)
+
+    @property
+    def ops(self) -> int:
+        """Total bitmap operations (AND + OR + XOR + NOT)."""
+        return self.ands + self.ors + self.xors + self.nots
+
+    def record_scan(self, nbytes: int = 0) -> None:
+        """Record one physical bitmap read of ``nbytes`` bytes."""
+        self.scans += 1
+        self.bytes_read += nbytes
+
+    def merge(self, other: "ExecutionStats") -> None:
+        """Accumulate ``other`` into this object (for aggregation)."""
+        self.scans += other.scans
+        self.ands += other.ands
+        self.ors += other.ors
+        self.xors += other.xors
+        self.nots += other.nots
+        self.bytes_read += other.bytes_read
+        self.decompressed_bytes += other.decompressed_bytes
+        self.files_opened += other.files_opened
+        self.buffer_hits += other.buffer_hits
+        self.io_seconds += other.io_seconds
+        self.cpu_seconds += other.cpu_seconds
+
+    def copy(self) -> "ExecutionStats":
+        """An independent copy of the current counter values."""
+        out = ExecutionStats()
+        out.merge(self)
+        return out

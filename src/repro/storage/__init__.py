@@ -1,0 +1,42 @@
+"""Physical storage substrate: simulated disk, storage schemes, buffering.
+
+Implements the paper's Section 9.1 physical organizations for a bitmap
+index on an ``N``-record relation:
+
+- **Bitmap-level storage (BS)** — one ``N``-bit file per stored bitmap.
+- **Component-level storage (CS)** — one row-major ``N x n_i`` bit-matrix
+  file per component.
+- **Index-level storage (IS)** — a single row-major ``N x n`` bit-matrix
+  file for the whole index (the projection index when every base is 2).
+
+Each scheme is available uncompressed or with any registered codec (the
+``c``-prefixed variants of the paper: cBS, cCS, cIS), and each implements
+the bitmap-source protocol, so the Section 3 evaluation algorithms run
+unchanged against physical storage with real byte accounting.
+
+Section 10's bitmap buffering is provided by
+:class:`repro.storage.buffer.BufferPool`.
+"""
+
+from repro.storage.disk import DiskModel, SimulatedDisk
+from repro.storage.schemes import (
+    BitmapLevelStorage,
+    ComponentLevelStorage,
+    IndexLevelStorage,
+    StorageScheme,
+    open_scheme,
+    write_index,
+)
+from repro.storage.buffer import BufferPool
+
+__all__ = [
+    "BitmapLevelStorage",
+    "BufferPool",
+    "ComponentLevelStorage",
+    "DiskModel",
+    "IndexLevelStorage",
+    "SimulatedDisk",
+    "StorageScheme",
+    "open_scheme",
+    "write_index",
+]

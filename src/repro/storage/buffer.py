@@ -1,0 +1,159 @@
+"""A bitmap-granularity buffer pool (paper Section 10).
+
+Wraps any bitmap source; fetches served from memory cost no scan.  Two
+policies:
+
+- ``'pinned'`` — the paper's model: a fixed
+  :class:`~repro.core.buffering.BufferAssignment` decides how many bitmaps
+  of each component stay resident (Theorem 10.1's optimal assignment by
+  default).  Which slots to pin is immaterial under the paper's
+  uniform-reference assumption; we pin evenly spaced slots so measured hit
+  rates track the ``f_i / (b_i - 1)`` model closely.
+- ``'lru'`` — a classical least-recently-used pool of ``capacity``
+  bitmaps, provided as an ablation against the paper's pinned-optimal
+  policy.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.bitmaps.bitvector import BitVector
+from repro.core.buffering import BufferAssignment, optimal_assignment
+from repro.core.encoding import EncodingScheme, stored_bitmap_count
+from repro.core.index import BitmapSource
+from repro.errors import BufferConfigError
+from repro.stats import ExecutionStats
+
+
+def _pinned_slots(stored: tuple[int, ...], count: int) -> set[int]:
+    """Choose ``count`` evenly spaced slots out of the stored ones."""
+    if count >= len(stored):
+        return set(stored)
+    if count == 0:
+        return set()
+    step = len(stored) / count
+    return {stored[int(k * step)] for k in range(count)}
+
+
+class BufferPool:
+    """A bitmap buffer in front of a slower bitmap source.
+
+    Parameters
+    ----------
+    source:
+        The underlying index / storage scheme.
+    assignment:
+        Pinned-policy buffer assignment; defaults to the Theorem 10.1
+        optimal assignment for ``capacity`` bitmaps.
+    capacity:
+        Total buffered bitmaps ``m``.  Required for the LRU policy and for
+        the default pinned assignment.
+    policy:
+        ``'pinned'`` (the paper's model, default) or ``'lru'``.
+    """
+
+    def __init__(
+        self,
+        source: BitmapSource,
+        assignment: BufferAssignment | None = None,
+        capacity: int | None = None,
+        policy: str = "pinned",
+    ):
+        if policy not in ("pinned", "lru"):
+            raise BufferConfigError(f"unknown buffer policy {policy!r}")
+        self.source = source
+        self.policy = policy
+        self.base = source.base
+        self.encoding = source.encoding
+        self.nbits = source.nbits
+        self.cardinality = source.cardinality
+        self.nonnull = source.nonnull
+        self.hits = 0
+        self.misses = 0
+
+        if policy == "pinned":
+            if assignment is None:
+                if capacity is None:
+                    raise BufferConfigError(
+                        "pinned policy needs an assignment or a capacity"
+                    )
+                assignment = optimal_assignment(source.base, capacity)
+            if assignment.base != source.base:
+                raise BufferConfigError(
+                    "assignment base does not match the source index"
+                )
+            self.assignment = assignment
+            self._pinned: dict[tuple[int, int], BitVector] = {}
+            self._load_pinned()
+        else:
+            if capacity is None or capacity < 0:
+                raise BufferConfigError("lru policy needs a capacity >= 0")
+            self.assignment = None
+            self.capacity = capacity
+            self._lru: OrderedDict[tuple[int, int], BitVector] = OrderedDict()
+
+    # ------------------------------------------------------------------
+
+    def _stored_slots(self, component: int) -> tuple[int, ...]:
+        stored = getattr(self.source, "stored_slots", None)
+        if callable(stored):
+            return stored(component)
+        # Fall back to the encoding's canonical layout.
+        b = self.base.component(component)
+        if self.encoding is EncodingScheme.EQUALITY and b == 2:
+            return (1,)
+        return tuple(range(stored_bitmap_count(b, self.encoding)))
+
+    def _load_pinned(self) -> None:
+        loader = ExecutionStats()  # preload IO is not charged to queries
+        for i in range(1, self.base.n + 1):
+            f_i = self.assignment.counts[i - 1]
+            for slot in sorted(_pinned_slots(self._stored_slots(i), f_i)):
+                self._pinned[(i, slot)] = self.source.fetch(i, slot, loader)
+        reset = getattr(self.source, "reset_cache", None)
+        if callable(reset):
+            reset()
+
+    # ------------------------------------------------------------------
+    # Bitmap-source protocol
+    # ------------------------------------------------------------------
+
+    def fetch(
+        self, component: int, slot: int, stats: ExecutionStats
+    ) -> BitVector:
+        key = (component, slot)
+        if self.policy == "pinned":
+            bitmap = self._pinned.get(key)
+            if bitmap is not None:
+                self.hits += 1
+                stats.buffer_hits += 1
+                return bitmap
+            self.misses += 1
+            return self.source.fetch(component, slot, stats)
+
+        bitmap = self._lru.get(key)
+        if bitmap is not None:
+            self._lru.move_to_end(key)
+            self.hits += 1
+            stats.buffer_hits += 1
+            return bitmap
+        self.misses += 1
+        bitmap = self.source.fetch(component, slot, stats)
+        if self.capacity > 0:
+            self._lru[key] = bitmap
+            if len(self._lru) > self.capacity:
+                self._lru.popitem(last=False)
+        return bitmap
+
+    def reset_cache(self) -> None:
+        """Propagate per-query cache resets to the underlying source."""
+        reset = getattr(self.source, "reset_cache", None)
+        if callable(reset):
+            reset()
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of fetches served from the buffer so far."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

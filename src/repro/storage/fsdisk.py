@@ -1,0 +1,119 @@
+"""A real-directory disk backend with the SimulatedDisk interface.
+
+The experiments run on :class:`~repro.storage.disk.SimulatedDisk` for
+exact, repeatable accounting; this backend persists the same bitmap files
+to an actual directory so indexes survive the process — the storage
+schemes work against either interchangeably.
+
+Logical paths (``"myindex/c1_s0"``) map to files under the root
+directory; path components are validated so a hostile manifest cannot
+escape the root.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import FileMissingError, StorageError
+from repro.storage.disk import DiskModel, DiskStats
+
+
+class FileSystemDisk:
+    """Stores bitmap files under a root directory.
+
+    Implements the same surface as :class:`SimulatedDisk` (write / read /
+    exists / delete / list_files / size_of / total_bytes plus the
+    failure-injection helpers), so :func:`repro.storage.schemes.write_index`
+    and :func:`~repro.storage.schemes.open_scheme` accept either.
+    """
+
+    def __init__(self, root: str, model: DiskModel | None = None):
+        self.root = os.path.abspath(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.model = model if model is not None else DiskModel()
+        self.stats = DiskStats()
+
+    # ------------------------------------------------------------------
+
+    def _resolve(self, path: str) -> str:
+        parts = path.split("/")
+        for part in parts:
+            if part in ("", ".", "..") or os.sep in part:
+                raise StorageError(f"illegal path component in {path!r}")
+        return os.path.join(self.root, *parts)
+
+    def write(self, path: str, data: bytes) -> None:
+        full = self._resolve(path)
+        os.makedirs(os.path.dirname(full), exist_ok=True)
+        with open(full, "wb") as handle:
+            handle.write(data)
+        self.stats.writes += 1
+        self.stats.bytes_written += len(data)
+
+    def read(self, path: str) -> bytes:
+        full = self._resolve(path)
+        try:
+            with open(full, "rb") as handle:
+                data = handle.read()
+        except FileNotFoundError:
+            raise FileMissingError(f"no such bitmap file: {path}") from None
+        self.stats.reads += 1
+        self.stats.bytes_read += len(data)
+        return data
+
+    def exists(self, path: str) -> bool:
+        return os.path.isfile(self._resolve(path))
+
+    def delete(self, path: str) -> None:
+        try:
+            os.remove(self._resolve(path))
+        except FileNotFoundError:
+            raise FileMissingError(f"no such bitmap file: {path}") from None
+
+    def list_files(self, prefix: str = "") -> list[str]:
+        found = []
+        for dirpath, _, filenames in os.walk(self.root):
+            for name in filenames:
+                rel = os.path.relpath(os.path.join(dirpath, name), self.root)
+                logical = rel.replace(os.sep, "/")
+                if logical.startswith(prefix):
+                    found.append(logical)
+        return sorted(found)
+
+    def size_of(self, path: str) -> int:
+        try:
+            return os.path.getsize(self._resolve(path))
+        except FileNotFoundError:
+            raise FileMissingError(f"no such bitmap file: {path}") from None
+
+    def total_bytes(self, prefix: str = "") -> int:
+        return sum(self.size_of(p) for p in self.list_files(prefix))
+
+    # ------------------------------------------------------------------
+    # Failure injection (parity with SimulatedDisk, used by tests)
+    # ------------------------------------------------------------------
+
+    def truncate(self, path: str, nbytes: int) -> None:
+        full = self._resolve(path)
+        if not os.path.isfile(full):
+            raise FileMissingError(f"no such bitmap file: {path}")
+        with open(full, "rb+") as handle:
+            handle.truncate(nbytes)
+
+    def corrupt_byte(self, path: str, offset: int, xor_with: int = 0xFF) -> None:
+        full = self._resolve(path)
+        if not os.path.isfile(full):
+            raise FileMissingError(f"no such bitmap file: {path}")
+        size = os.path.getsize(full)
+        if not 0 <= offset < size:
+            raise IndexError(f"offset {offset} outside file of {size} bytes")
+        with open(full, "rb+") as handle:
+            handle.seek(offset)
+            byte = handle.read(1)[0]
+            handle.seek(offset)
+            handle.write(bytes([byte ^ xor_with]))
+
+    # ------------------------------------------------------------------
+
+    def estimated_read_seconds(self, files_opened: int, bytes_read: int) -> float:
+        return self.model.seconds(files_opened, bytes_read)

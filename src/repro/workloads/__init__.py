@@ -1,0 +1,33 @@
+"""Workload substrate: value generators, TPC-D-shaped data, query spaces."""
+
+from repro.workloads.generators import (
+    clustered_values,
+    uniform_values,
+    zipf_values,
+)
+from repro.workloads.tpcd import (
+    DatasetSpec,
+    dataset1,
+    dataset2,
+    lineitem_relation,
+    order_relation,
+)
+from repro.workloads.queries import (
+    full_query_space,
+    restricted_query_space,
+    sample_queries,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "clustered_values",
+    "dataset1",
+    "dataset2",
+    "full_query_space",
+    "lineitem_relation",
+    "order_relation",
+    "restricted_query_space",
+    "sample_queries",
+    "uniform_values",
+    "zipf_values",
+]

@@ -1,0 +1,62 @@
+"""Query-space enumerators and samplers.
+
+The paper's cost model assumes queries drawn uniformly from
+``Q = {A op v : op in {<, <=, =, !=, >=, >}, 0 <= v < C}`` (Section 4);
+its Section 9 experiments restrict the space to ``{<=, =}`` "to limit the
+number of queries".  Both spaces are provided, plus a seeded sampler for
+experiments that cannot afford full enumeration.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.core.evaluation import OPERATORS, Predicate
+from repro.errors import ValueOutOfRangeError
+
+#: The Section 9.2 restricted operator set.
+RESTRICTED_OPERATORS = ("<=", "=")
+
+
+def full_query_space(cardinality: int) -> Iterator[Predicate]:
+    """All ``6 * C`` predicates of the paper's query space ``Q``."""
+    _check(cardinality)
+    for op in OPERATORS:
+        for v in range(cardinality):
+            yield Predicate(op, v)
+
+
+def restricted_query_space(cardinality: int) -> Iterator[Predicate]:
+    """The Section 9 space: ``{A <= v, A = v : 0 <= v < C}`` (``2C`` queries)."""
+    _check(cardinality)
+    for op in RESTRICTED_OPERATORS:
+        for v in range(cardinality):
+            yield Predicate(op, v)
+
+
+def sample_queries(
+    cardinality: int,
+    count: int,
+    operators: tuple[str, ...] = OPERATORS,
+    seed: int = 0,
+) -> list[Predicate]:
+    """``count`` predicates drawn uniformly from ``operators x [0, C)``."""
+    _check(cardinality)
+    if count < 0:
+        raise ValueOutOfRangeError(f"count must be >= 0, got {count}")
+    for op in operators:
+        if op not in OPERATORS:
+            raise ValueOutOfRangeError(f"unknown operator {op!r}")
+    rng = np.random.default_rng(seed)
+    ops = rng.integers(0, len(operators), count)
+    values = rng.integers(0, cardinality, count)
+    return [Predicate(operators[int(o)], int(v)) for o, v in zip(ops, values)]
+
+
+def _check(cardinality: int) -> None:
+    if cardinality < 2:
+        raise ValueOutOfRangeError(
+            f"cardinality must be >= 2, got {cardinality}"
+        )

@@ -1,0 +1,112 @@
+"""Synthetic TPC-D-shaped data for the paper's Section 9 experiments.
+
+The paper's Table 3 uses two attributes of the TPC-D benchmark:
+
+- **Data set 1** — ``Lineitem.l_quantity``: 50 distinct integer values
+  (1..50, uniform), small attribute cardinality.
+- **Data set 2** — ``Order.o_orderdate``: dates uniform over the TPC-D
+  order-date range (1992-01-01 through 1998-08-02, 2406 distinct days),
+  large attribute cardinality.
+
+We do not have the TPC-D generator, so this module synthesizes columns
+with the same value domains and distributions (the quantities the Section
+9 results actually depend on).  Row counts default to a laptop-friendly
+scale and can be raised to the full TPC-D scale-factor counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date, timedelta
+
+import numpy as np
+
+from repro.relation.column import Column
+from repro.relation.relation import Relation
+
+#: TPC-D order dates span STARTDATE..ENDDATE - 151 days; 2406 distinct days.
+ORDERDATE_FIRST = date(1992, 1, 1)
+ORDERDATE_DAYS = 2406
+
+#: l_quantity is a random integer in [1, 50].
+QUANTITY_CARDINALITY = 50
+
+#: Full TPC-D scale-factor-1 row counts, for reference/scaling.
+LINEITEM_ROWS_SF1 = 6_001_215
+ORDER_ROWS_SF1 = 1_500_000
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Characteristics of one experimental dataset (the paper's Table 3)."""
+
+    name: str
+    relation: str
+    attribute: str
+    relation_cardinality: int
+    attribute_cardinality: int
+
+
+def lineitem_relation(num_rows: int = 60_000, seed: int = 17) -> Relation:
+    """A Lineitem-shaped relation: ``quantity`` uniform over 1..50."""
+    rng = np.random.default_rng(seed)
+    quantity = rng.integers(1, QUANTITY_CARDINALITY + 1, num_rows, dtype=np.int64)
+    extended_price = np.round(
+        quantity * rng.uniform(900.0, 105_000.0 / 50, num_rows), 2
+    )
+    return Relation(
+        "lineitem",
+        [
+            Column("quantity", quantity),
+            Column("extendedprice", extended_price),
+        ],
+    )
+
+
+def order_relation(num_rows: int = 15_000, seed: int = 23) -> Relation:
+    """An Order-shaped relation: ``orderdate`` uniform over 2406 days.
+
+    Dates are stored as day offsets from 1992-01-01 (``int64``); use
+    :func:`orderdate_to_date` to decode.
+    """
+    rng = np.random.default_rng(seed)
+    orderdate = rng.integers(0, ORDERDATE_DAYS, num_rows, dtype=np.int64)
+    totalprice = np.round(rng.uniform(850.0, 550_000.0, num_rows), 2)
+    return Relation(
+        "order",
+        [
+            Column("orderdate", orderdate),
+            Column("totalprice", totalprice),
+        ],
+    )
+
+
+def orderdate_to_date(offset: int) -> date:
+    """Decode an ``orderdate`` day offset into a calendar date."""
+    return ORDERDATE_FIRST + timedelta(days=int(offset))
+
+
+def dataset1(num_rows: int = 60_000, seed: int = 17) -> tuple[Relation, DatasetSpec]:
+    """The paper's data set 1 (small cardinality): Lineitem.quantity."""
+    rel = lineitem_relation(num_rows, seed)
+    spec = DatasetSpec(
+        name="data set 1",
+        relation="lineitem",
+        attribute="quantity",
+        relation_cardinality=rel.num_rows,
+        attribute_cardinality=rel.column("quantity").cardinality,
+    )
+    return rel, spec
+
+
+def dataset2(num_rows: int = 15_000, seed: int = 23) -> tuple[Relation, DatasetSpec]:
+    """The paper's data set 2 (large cardinality): Order.orderdate."""
+    rel = order_relation(num_rows, seed)
+    spec = DatasetSpec(
+        name="data set 2",
+        relation="order",
+        attribute="orderdate",
+        relation_cardinality=rel.num_rows,
+        attribute_cardinality=rel.column("orderdate").cardinality,
+    )
+    return rel, spec

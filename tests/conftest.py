@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.decomposition import Base
+from repro.core.encoding import EncodingScheme
+from repro.core.index import BitmapIndex
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+#: The paper's Figure 1 example column (10 records, values 0..8).
+PAPER_EXAMPLE_VALUES = np.array([3, 2, 1, 2, 8, 2, 2, 0, 7, 5])
+
+
+@pytest.fixture
+def paper_values() -> np.ndarray:
+    return PAPER_EXAMPLE_VALUES.copy()
+
+
+@pytest.fixture
+def paper_index(paper_values) -> BitmapIndex:
+    """The base-<3,3> range-encoded index of the paper's Figure 4(c)."""
+    return BitmapIndex(paper_values, cardinality=9, base=Base((3, 3)))
+
+
+def make_index(
+    num_rows: int = 300,
+    cardinality: int = 60,
+    base: Base | None = None,
+    encoding: EncodingScheme = EncodingScheme.RANGE,
+    seed: int = 0,
+    nulls: bool = False,
+) -> BitmapIndex:
+    """Build a seeded random index for tests."""
+    generator = np.random.default_rng(seed)
+    values = generator.integers(0, cardinality, num_rows)
+    null_mask = generator.random(num_rows) < 0.1 if nulls else None
+    return BitmapIndex(
+        values, cardinality, base=base, encoding=encoding, nulls=null_mask
+    )

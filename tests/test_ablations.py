@@ -1,0 +1,71 @@
+"""Tests for the extension ablation experiments."""
+
+from __future__ import annotations
+
+from repro.experiments import ablation_buffering, ablation_codecs, ablation_encodings
+
+
+class TestEncodingAblation:
+    def test_three_fronts_present(self):
+        (result,) = ablation_encodings.run(quick=True, cardinalities=(36,))
+        encodings = {row[0] for row in result.rows}
+        assert encodings == {"range", "equality", "interval"}
+
+    def test_interval_extends_low_space_region(self):
+        (result,) = ablation_encodings.run(quick=True, cardinalities=(100,))
+        interval_single = next(
+            row for row in result.rows
+            if row[0] == "interval" and "," not in row[1]
+        )
+        range_single = next(
+            row for row in result.rows
+            if row[0] == "range" and "," not in row[1]
+        )
+        assert interval_single[2] < range_single[2]
+        assert interval_single[3] > range_single[3]
+
+
+class TestCodecAblation:
+    def test_deflate_wins_on_uniform(self):
+        result = ablation_codecs.run(quick=True, num_rows=5000)
+        ratios = {(row[0], row[1]): row[3] for row in result.rows}
+        assert ratios[("uniform", "zlib")] < ratios[("uniform", "wah")]
+
+    def test_runs_compress_dramatically(self):
+        result = ablation_codecs.run(quick=True, num_rows=5000)
+        ratios = {(row[0], row[1]): row[3] for row in result.rows}
+        for codec in ("zlib", "wah"):
+            assert ratios[("sorted", codec)] < ratios[("uniform", codec)]
+
+
+class TestUpdatesAblation:
+    def test_value_list_cheapest_single_component(self):
+        from repro.experiments import ablation_updates
+
+        result = ablation_updates.run(quick=True, cardinality=30, updates=150)
+        rows = {(row[0], row[2]): row[4] for row in result.rows}
+        assert rows[(1, "equality")] < rows[(1, "range")]
+        assert rows[(1, "interval")] < rows[(1, "range")]
+
+    def test_decomposition_reduces_range_update_cost(self):
+        from repro.experiments import ablation_updates
+
+        result = ablation_updates.run(quick=True, cardinality=30, updates=150)
+        rows = {(row[0], row[2]): row[4] for row in result.rows}
+        assert rows[(3, "range")] < rows[(1, "range")]
+
+
+class TestBufferingAblation:
+    def test_pinned_tracks_model(self):
+        result = ablation_buffering.run(
+            quick=True, cardinality=36, buffers=(0, 2, 4), repeats=1
+        )
+        for row in result.rows:
+            assert abs(row[1] - row[3]) <= 0.3
+
+    def test_zero_buffer_policies_identical(self):
+        result = ablation_buffering.run(
+            quick=True, cardinality=36, buffers=(0,), repeats=1
+        )
+        (row,) = result.rows
+        assert row[1] == row[2]

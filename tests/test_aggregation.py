@@ -1,0 +1,138 @@
+"""Tests for bit-sliced aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitmaps.bitvector import BitVector
+from repro.core.aggregation import BitSlicedAggregator, EmptyFoundsetError
+from repro.core.decomposition import Base
+from repro.core.encoding import EncodingScheme
+from repro.core.evaluation import Predicate, evaluate
+from repro.core.index import BitmapIndex
+from repro.errors import ValueOutOfRangeError
+
+
+@pytest.fixture
+def values(rng) -> np.ndarray:
+    return rng.integers(0, 1000, 500)
+
+
+@pytest.fixture
+def aggregator(values) -> BitSlicedAggregator:
+    return BitSlicedAggregator.from_values(values)
+
+
+class TestConstruction:
+    def test_slice_count_is_bit_width(self, aggregator):
+        assert aggregator.num_slices == 10  # values < 1000 < 1024
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ValueOutOfRangeError):
+            BitSlicedAggregator.from_values(np.array([-1]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueOutOfRangeError):
+            BitSlicedAggregator.from_values(np.zeros((2, 2), dtype=int))
+
+    def test_all_zero_column(self):
+        agg = BitSlicedAggregator.from_values(np.zeros(10, dtype=int))
+        assert agg.num_slices == 1
+        assert agg.sum() == 0
+        assert agg.maximum() == 0
+
+    def test_from_binary_equality_index(self, values):
+        index = BitmapIndex(
+            values, 1024, Base.binary(1024), EncodingScheme.EQUALITY
+        )
+        agg = BitSlicedAggregator.from_index(index)
+        assert agg.sum() == int(values.sum())
+        assert agg.maximum() == int(values.max())
+
+    def test_from_index_rejects_range_encoding(self, values):
+        index = BitmapIndex(values, 1024, Base.binary(1024))
+        with pytest.raises(ValueOutOfRangeError):
+            BitSlicedAggregator.from_index(index)
+
+    def test_from_index_rejects_non_binary_base(self, values):
+        index = BitmapIndex(
+            values, 1024, Base((32, 32)), EncodingScheme.EQUALITY
+        )
+        with pytest.raises(ValueOutOfRangeError):
+            BitSlicedAggregator.from_index(index)
+
+
+class TestFullColumnAggregates:
+    def test_sum(self, values, aggregator):
+        assert aggregator.sum() == int(values.sum())
+
+    def test_count(self, values, aggregator):
+        assert aggregator.count() == len(values)
+
+    def test_average(self, values, aggregator):
+        assert aggregator.average() == pytest.approx(float(values.mean()))
+
+    def test_min_max(self, values, aggregator):
+        assert aggregator.minimum() == int(values.min())
+        assert aggregator.maximum() == int(values.max())
+
+
+class TestFoundsetAggregates:
+    def test_sum_over_predicate_foundset(self, values, aggregator):
+        index = BitmapIndex(values, 1000, Base((32, 32)))
+        foundset = evaluate(index, Predicate("<=", 300))
+        expected = int(values[values <= 300].sum())
+        assert aggregator.sum(foundset) == expected
+
+    def test_min_max_over_foundset(self, values, aggregator):
+        mask = values >= 500
+        foundset = BitVector.from_bools(mask)
+        assert aggregator.minimum(foundset) == int(values[mask].min())
+        assert aggregator.maximum(foundset) == int(values[mask].max())
+
+    def test_average_over_foundset(self, values, aggregator):
+        mask = (values % 7) == 0
+        foundset = BitVector.from_bools(mask)
+        assert aggregator.average(foundset) == pytest.approx(
+            float(values[mask].mean())
+        )
+
+    def test_empty_foundset(self, aggregator):
+        empty = BitVector.zeros(aggregator.num_rows)
+        assert aggregator.sum(empty) == 0
+        assert aggregator.count(empty) == 0
+        with pytest.raises(EmptyFoundsetError):
+            aggregator.minimum(empty)
+        with pytest.raises(EmptyFoundsetError):
+            aggregator.average(empty)
+
+    def test_foundset_length_checked(self, aggregator):
+        with pytest.raises(ValueOutOfRangeError):
+            aggregator.sum(BitVector.zeros(3))
+
+    def test_foundset_not_mutated_by_minmax(self, values, aggregator):
+        foundset = BitVector.ones(len(values))
+        before = foundset.count()
+        aggregator.minimum(foundset)
+        aggregator.maximum(foundset)
+        assert foundset.count() == before
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    data=st.lists(st.integers(0, 5000), min_size=1, max_size=120),
+    seed=st.integers(0, 2**31),
+)
+def test_aggregates_match_numpy_property(data, seed):
+    values = np.array(data)
+    agg = BitSlicedAggregator.from_values(values)
+    mask = np.random.default_rng(seed).random(len(values)) < 0.5
+    foundset = BitVector.from_bools(mask)
+    assert agg.sum(foundset) == int(values[mask].sum())
+    assert agg.count(foundset) == int(mask.sum())
+    if mask.any():
+        assert agg.minimum(foundset) == int(values[mask].min())
+        assert agg.maximum(foundset) == int(values[mask].max())

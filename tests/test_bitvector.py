@@ -1,0 +1,242 @@
+"""Unit and property tests for the packed bitvector substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitmaps.bitvector import BitVector
+from repro.errors import LengthMismatchError
+
+
+class TestConstruction:
+    def test_zeros_has_no_set_bits(self):
+        vec = BitVector.zeros(100)
+        assert len(vec) == 100
+        assert vec.count() == 0
+        assert not vec.any()
+
+    def test_ones_has_all_bits_set(self):
+        vec = BitVector.ones(100)
+        assert vec.count() == 100
+        assert vec.all()
+
+    def test_ones_masks_tail_bits(self):
+        # 70 bits span two words; the upper 58 bits of word 2 must be zero.
+        vec = BitVector.ones(70)
+        assert vec.count() == 70
+
+    def test_zero_length_vector(self):
+        vec = BitVector.zeros(0)
+        assert len(vec) == 0
+        assert vec.count() == 0
+        assert vec.to_bytes() == b""
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            BitVector(-1)
+
+    def test_from_indices(self):
+        vec = BitVector.from_indices(10, [0, 3, 9])
+        assert vec.count() == 3
+        assert vec.get(0) and vec.get(3) and vec.get(9)
+        assert not vec.get(1)
+
+    def test_from_indices_empty(self):
+        vec = BitVector.from_indices(10, [])
+        assert vec.count() == 0
+
+    def test_from_indices_out_of_range(self):
+        with pytest.raises(IndexError):
+            BitVector.from_indices(10, [10])
+        with pytest.raises(IndexError):
+            BitVector.from_indices(10, [-1])
+
+    def test_from_bools_round_trip(self, rng):
+        bools = rng.random(137) < 0.5
+        vec = BitVector.from_bools(bools)
+        assert np.array_equal(vec.to_bools(), bools)
+
+    def test_words_constructor_validates_dtype(self):
+        with pytest.raises(ValueError):
+            BitVector(64, np.zeros(1, dtype=np.int64))
+
+    def test_words_constructor_validates_length(self):
+        with pytest.raises(ValueError):
+            BitVector(65, np.zeros(1, dtype=np.uint64))
+
+    def test_words_constructor_masks_tail(self):
+        words = np.full(1, np.uint64(0xFFFFFFFFFFFFFFFF))
+        vec = BitVector(3, words)
+        assert vec.count() == 3
+
+
+class TestAccessors:
+    def test_get_set_round_trip(self):
+        vec = BitVector.zeros(130)
+        vec.set(0)
+        vec.set(64)
+        vec.set(129)
+        assert vec.get(0) and vec.get(64) and vec.get(129)
+        vec.set(64, False)
+        assert not vec.get(64)
+        assert vec.count() == 2
+
+    def test_getitem(self):
+        vec = BitVector.from_indices(5, [2])
+        assert vec[2]
+        assert not vec[0]
+
+    def test_index_bounds_checked(self):
+        vec = BitVector.zeros(8)
+        with pytest.raises(IndexError):
+            vec.get(8)
+        with pytest.raises(IndexError):
+            vec.set(-1)
+
+    def test_indices_sorted(self, rng):
+        bools = rng.random(200) < 0.3
+        vec = BitVector.from_bools(bools)
+        expected = np.nonzero(bools)[0]
+        assert np.array_equal(vec.indices(), expected)
+
+    def test_iter_indices(self):
+        vec = BitVector.from_indices(10, [7, 1, 4])
+        assert list(vec.iter_indices()) == [1, 4, 7]
+
+    def test_nbytes(self):
+        assert BitVector.zeros(1).nbytes == 1
+        assert BitVector.zeros(8).nbytes == 1
+        assert BitVector.zeros(9).nbytes == 2
+
+    def test_repr_small_shows_bits(self):
+        vec = BitVector.from_indices(4, [0])
+        assert "1000" in repr(vec)
+
+    def test_repr_large_shows_count(self):
+        vec = BitVector.ones(1000)
+        assert "count=1000" in repr(vec)
+
+    def test_all_on_partial(self):
+        vec = BitVector.from_indices(3, [0, 1])
+        assert not vec.all()
+        vec.set(2)
+        assert vec.all()
+
+
+class TestLogicalOps:
+    def test_and(self):
+        a = BitVector.from_indices(8, [0, 1, 2])
+        b = BitVector.from_indices(8, [1, 2, 3])
+        assert (a & b).indices().tolist() == [1, 2]
+
+    def test_or(self):
+        a = BitVector.from_indices(8, [0, 1])
+        b = BitVector.from_indices(8, [3])
+        assert (a | b).indices().tolist() == [0, 1, 3]
+
+    def test_xor(self):
+        a = BitVector.from_indices(8, [0, 1])
+        b = BitVector.from_indices(8, [1, 2])
+        assert (a ^ b).indices().tolist() == [0, 2]
+
+    def test_not_respects_length(self):
+        a = BitVector.from_indices(70, [0])
+        inverted = ~a
+        assert inverted.count() == 69
+        assert not inverted.get(0)
+
+    def test_andnot(self):
+        a = BitVector.from_indices(8, [0, 1, 2])
+        b = BitVector.from_indices(8, [1])
+        assert a.andnot(b).indices().tolist() == [0, 2]
+
+    def test_double_negation_is_identity(self, rng):
+        vec = BitVector.from_bools(rng.random(99) < 0.5)
+        assert ~~vec == vec
+
+    def test_ops_do_not_mutate_operands(self):
+        a = BitVector.from_indices(8, [0])
+        b = BitVector.from_indices(8, [1])
+        _ = a | b
+        assert a.indices().tolist() == [0]
+        assert b.indices().tolist() == [1]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(LengthMismatchError):
+            BitVector.zeros(8) & BitVector.zeros(9)
+
+    def test_type_mismatch_raises(self):
+        with pytest.raises(TypeError):
+            BitVector.zeros(8) & object()  # type: ignore[operator]
+
+
+class TestSerialization:
+    def test_bytes_round_trip(self, rng):
+        bools = rng.random(1001) < 0.4
+        vec = BitVector.from_bools(bools)
+        restored = BitVector.from_bytes(vec.to_bytes(), 1001)
+        assert restored == vec
+
+    def test_from_bytes_length_checked(self):
+        with pytest.raises(ValueError):
+            BitVector.from_bytes(b"\x00", 9)
+
+    def test_to_bytes_length(self):
+        assert len(BitVector.zeros(13).to_bytes()) == 2
+
+    def test_copy_is_independent(self):
+        vec = BitVector.zeros(8)
+        dup = vec.copy()
+        dup.set(0)
+        assert not vec.get(0)
+
+
+class TestEquality:
+    def test_equal_vectors(self):
+        assert BitVector.from_indices(9, [1]) == BitVector.from_indices(9, [1])
+
+    def test_different_content(self):
+        assert BitVector.from_indices(9, [1]) != BitVector.from_indices(9, [2])
+
+    def test_different_length(self):
+        assert BitVector.zeros(8) != BitVector.zeros(9)
+
+    def test_not_comparable_to_other_types(self):
+        assert BitVector.zeros(8) != "nope"
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(BitVector.zeros(8))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    nbits=st.integers(min_value=1, max_value=300),
+    seed_a=st.integers(min_value=0, max_value=2**31),
+    seed_b=st.integers(min_value=0, max_value=2**31),
+)
+def test_logical_ops_match_numpy(nbits, seed_a, seed_b):
+    """Property: every logical op agrees with numpy boolean arithmetic."""
+    a_bools = np.random.default_rng(seed_a).random(nbits) < 0.5
+    b_bools = np.random.default_rng(seed_b).random(nbits) < 0.5
+    a = BitVector.from_bools(a_bools)
+    b = BitVector.from_bools(b_bools)
+    assert np.array_equal((a & b).to_bools(), a_bools & b_bools)
+    assert np.array_equal((a | b).to_bools(), a_bools | b_bools)
+    assert np.array_equal((a ^ b).to_bools(), a_bools ^ b_bools)
+    assert np.array_equal((~a).to_bools(), ~a_bools)
+    assert a.count() == int(a_bools.sum())
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    nbits=st.integers(min_value=0, max_value=500),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_serialization_round_trip_property(nbits, seed):
+    bools = np.random.default_rng(seed).random(nbits) < 0.5
+    vec = BitVector.from_bools(bools)
+    assert BitVector.from_bytes(vec.to_bytes(), nbits) == vec

@@ -1,0 +1,138 @@
+"""Tests for Section 10: buffer assignments and buffered-time optimality."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from fractions import Fraction
+
+from repro.core import costmodel
+from repro.core.buffering import (
+    BufferAssignment,
+    buffered_time,
+    marginal_benefit,
+    optimal_assignment,
+    time_optimal_base_buffered,
+)
+from repro.core.decomposition import Base
+from repro.core.optimize import enumerate_bases
+from repro.errors import BufferConfigError, InvalidBaseError
+
+
+class TestBufferAssignment:
+    def test_total(self):
+        a = BufferAssignment(Base((10, 10)), (3, 2))
+        assert a.total == 5
+
+    def test_expected_scans_matches_costmodel(self):
+        base = Base((10, 10))
+        a = BufferAssignment(base, (3, 2))
+        assert a.expected_scans() == costmodel.time_range_buffered(base, (3, 2))
+
+    def test_length_validated(self):
+        with pytest.raises(BufferConfigError):
+            BufferAssignment(Base((10, 10)), (1,))
+
+    def test_bounds_validated(self):
+        with pytest.raises(BufferConfigError):
+            BufferAssignment(Base((10, 10)), (9, 10))
+        with pytest.raises(BufferConfigError):
+            BufferAssignment(Base((10, 10)), (-1, 0))
+
+
+class TestMarginalBenefit:
+    def test_component_one_discounted(self):
+        base = Base((10, 10))
+        assert marginal_benefit(base, 1) == Fraction(4, 30)
+        assert marginal_benefit(base, 2) == Fraction(2, 10)
+
+    def test_theorem_10_1_class_boundary(self):
+        # A component i >= 2 outranks component 1 iff b_i <= 1.5 * b_1.
+        base = Base((15, 10))  # b_2 = 15 = 1.5 * b_1
+        assert marginal_benefit(base, 2) >= marginal_benefit(base, 1)
+        base = Base((16, 10))
+        assert marginal_benefit(base, 2) < marginal_benefit(base, 1)
+
+
+class TestOptimalAssignment:
+    def test_zero_buffer(self):
+        a = optimal_assignment(Base((10, 10)), 0)
+        assert a.counts == (0, 0)
+
+    def test_prefers_smaller_base_components(self):
+        # Base <2, 50>: component 2 (b=2) has benefit 1, component 1 has
+        # 4/150 — the single buffered bitmap goes to component 2.
+        a = optimal_assignment(Base((2, 50)), 1)
+        assert a.counts == (0, 1)
+
+    def test_caps_at_stored_bitmaps(self):
+        a = optimal_assignment(Base((2, 50)), 5)
+        assert a.counts == (4, 1)
+
+    def test_everything_buffered(self):
+        base = Base((4, 4))
+        a = optimal_assignment(base, 100)
+        assert a.counts == (3, 3)
+        assert a.expected_scans() == pytest.approx(0.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(BufferConfigError):
+            optimal_assignment(Base((4, 4)), -1)
+
+    @pytest.mark.parametrize(
+        "base", [Base((10, 10)), Base((2, 5, 13)), Base((3, 3, 4))], ids=str
+    )
+    @pytest.mark.parametrize("m", [1, 2, 3, 5, 8])
+    def test_optimal_against_exhaustive_assignments(self, base, m):
+        """Greedy == best over every well-defined m-bitmap assignment."""
+        greedy = buffered_time(base, m)
+        ranges = [range(min(b - 1, m) + 1) for b in reversed(base.bases)]
+        best = min(
+            (
+                costmodel.time_range_buffered(base, counts)
+                for counts in itertools.product(*ranges)
+                if sum(counts) == min(m, costmodel.space_range(base))
+            ),
+            default=costmodel.time_range(base),
+        )
+        assert greedy == pytest.approx(best)
+
+
+class TestBufferedTime:
+    def test_monotone_in_m(self):
+        base = Base((10, 10))
+        times = [buffered_time(base, m) for m in range(0, 19)]
+        assert times == sorted(times, reverse=True)
+        assert times[-1] == pytest.approx(0.0)
+
+    def test_m_zero_matches_eq4(self):
+        base = Base((7, 11))
+        assert buffered_time(base, 0) == pytest.approx(costmodel.time_range(base))
+
+
+class TestTheorem102:
+    def test_shape(self):
+        assert time_optimal_base_buffered(1000, 0) == Base((1000,))
+        assert time_optimal_base_buffered(1000, 1) == Base((1000,))
+        assert time_optimal_base_buffered(1000, 2) == Base((2, 500))
+        assert time_optimal_base_buffered(1000, 4) == Base((2, 2, 2, 125))
+
+    def test_caps_at_binary_index(self):
+        assert time_optimal_base_buffered(100, 50) == Base.binary(100)
+
+    @pytest.mark.parametrize("cardinality", [25, 64, 100])
+    @pytest.mark.parametrize("m", [0, 1, 2, 3, 5, 7])
+    def test_optimal_by_search(self, cardinality, m):
+        claimed = buffered_time(time_optimal_base_buffered(cardinality, m), m)
+        best = min(
+            buffered_time(b, m)
+            for b in enumerate_bases(cardinality, tight_only=True)
+        )
+        assert claimed <= best + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(BufferConfigError):
+            time_optimal_base_buffered(100, -1)
+        with pytest.raises(InvalidBaseError):
+            time_optimal_base_buffered(1, 2)

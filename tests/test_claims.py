@@ -1,0 +1,55 @@
+"""Tests for the self-auditing claim report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.__main__ import main
+from repro.experiments.claims import (
+    ClaimCheck,
+    _CHECKERS,
+    format_report,
+    verify_all,
+    verify_experiment,
+)
+from repro.experiments.harness import ExperimentResult
+
+
+class TestCheckers:
+    def test_every_experiment_has_a_checker(self):
+        assert set(_CHECKERS) == set(EXPERIMENTS)
+
+    def test_all_claims_pass_in_quick_mode(self):
+        checks = verify_all(quick=True)
+        failed = [c for c in checks if not c.passed]
+        assert not failed, "\n".join(f"{c.exp_id}: {c.claim} ({c.detail})" for c in failed)
+        assert len(checks) >= 25
+
+    def test_malformed_result_reported_as_failure(self):
+        bogus = ExperimentResult("table1", "t", ["x"])
+        checks = verify_experiment("table1", [bogus])
+        assert len(checks) == 1
+        assert not checks[0].passed
+
+    def test_unknown_experiment_yields_no_checks(self):
+        assert verify_experiment("nope", []) == []
+
+
+class TestReport:
+    def test_format(self):
+        checks = [
+            ClaimCheck("a", "works", True, ""),
+            ClaimCheck("b", "breaks", False, "oops"),
+        ]
+        text = format_report(checks)
+        assert "1/2 claims reproduced" in text
+        assert "| a | works | PASS |" in text
+        assert "| b | breaks | FAIL | oops |" in text
+
+    def test_cli_report(self, capsys, tmp_path):
+        code = main(["report", "--out", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert "claims reproduced" in out
+        assert (tmp_path / "claim_report.md").exists()
+        assert code == 0

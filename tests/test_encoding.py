@@ -1,0 +1,115 @@
+"""Tests for the equality/range component encodings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.encoding import (
+    EncodingScheme,
+    EqualityEncodedComponent,
+    RangeEncodedComponent,
+    build_component,
+    stored_bitmap_count,
+)
+from repro.errors import ValueOutOfRangeError
+
+DIGITS = np.array([0, 2, 1, 2, 0, 3, 3, 1])
+
+
+class TestEqualityEncoding:
+    def test_one_bitmap_per_value(self):
+        comp = EqualityEncodedComponent.build(DIGITS, base=4)
+        assert comp.num_stored == 4
+        assert comp.stored_slots() == (0, 1, 2, 3)
+
+    def test_bitmap_contents(self):
+        comp = EqualityEncodedComponent.build(DIGITS, base=4)
+        for j in range(4):
+            expected = (DIGITS == j)
+            assert np.array_equal(comp.bitmap(j).to_bools(), expected)
+
+    def test_base_two_stores_single_bitmap(self):
+        digits = np.array([0, 1, 1, 0, 1])
+        comp = EqualityEncodedComponent.build(digits, base=2)
+        assert comp.num_stored == 1
+        assert comp.stored_slots() == (1,)
+        assert np.array_equal(comp.bitmap(1).to_bools(), digits == 1)
+
+    def test_exactly_one_bit_per_row(self):
+        comp = EqualityEncodedComponent.build(DIGITS, base=4)
+        total = sum(comp.bitmap(j).to_bools().astype(int) for j in range(4))
+        assert np.all(total == 1)
+
+    def test_contains(self):
+        comp = EqualityEncodedComponent.build(DIGITS, base=4)
+        assert 0 in comp
+        assert 4 not in comp
+
+    def test_missing_slot_raises(self):
+        comp = EqualityEncodedComponent.build(np.array([0, 1]), base=2)
+        with pytest.raises(KeyError):
+            comp.bitmap(0)
+
+
+class TestRangeEncoding:
+    def test_stores_base_minus_one_bitmaps(self):
+        comp = RangeEncodedComponent.build(DIGITS, base=4)
+        assert comp.num_stored == 3
+        assert comp.stored_slots() == (0, 1, 2)
+
+    def test_bitmap_contents_are_cumulative(self):
+        comp = RangeEncodedComponent.build(DIGITS, base=4)
+        for j in range(3):
+            assert np.array_equal(comp.bitmap(j).to_bools(), DIGITS <= j)
+
+    def test_monotone_nesting(self):
+        """Paper invariant: B^j is a subset of B^(j+1)."""
+        comp = RangeEncodedComponent.build(DIGITS, base=4)
+        for j in range(2):
+            lower = comp.bitmap(j)
+            upper = comp.bitmap(j + 1)
+            assert (lower & upper) == lower
+
+    def test_top_bitmap_not_stored(self):
+        comp = RangeEncodedComponent.build(DIGITS, base=4)
+        with pytest.raises(KeyError):
+            comp.bitmap(3)
+
+    def test_base_two(self):
+        digits = np.array([0, 1, 1, 0])
+        comp = RangeEncodedComponent.build(digits, base=2)
+        assert comp.num_stored == 1
+        assert np.array_equal(comp.bitmap(0).to_bools(), digits == 0)
+
+
+class TestHelpers:
+    def test_build_component_dispatch(self):
+        eq = build_component(DIGITS, 4, EncodingScheme.EQUALITY)
+        rg = build_component(DIGITS, 4, EncodingScheme.RANGE)
+        assert isinstance(eq, EqualityEncodedComponent)
+        assert isinstance(rg, RangeEncodedComponent)
+
+    @pytest.mark.parametrize(
+        "base,encoding,expected",
+        [
+            (2, EncodingScheme.EQUALITY, 1),
+            (3, EncodingScheme.EQUALITY, 3),
+            (10, EncodingScheme.EQUALITY, 10),
+            (2, EncodingScheme.RANGE, 1),
+            (3, EncodingScheme.RANGE, 2),
+            (10, EncodingScheme.RANGE, 9),
+        ],
+    )
+    def test_stored_bitmap_count_theorem_5_1(self, base, encoding, expected):
+        assert stored_bitmap_count(base, encoding) == expected
+
+    def test_digits_validated(self):
+        with pytest.raises(ValueOutOfRangeError):
+            RangeEncodedComponent.build(np.array([4]), base=4)
+        with pytest.raises(ValueOutOfRangeError):
+            EqualityEncodedComponent.build(np.array([-1]), base=4)
+
+    def test_degenerate_base_rejected(self):
+        with pytest.raises(ValueOutOfRangeError):
+            RangeEncodedComponent.build(np.array([0]), base=1)

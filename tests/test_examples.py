@@ -1,0 +1,48 @@
+"""Smoke tests: every example script runs cleanly end to end."""
+
+from __future__ import annotations
+
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+EXAMPLES = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+)
+
+
+def test_at_least_three_examples_exist():
+    assert len(EXAMPLES) >= 3
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys, monkeypatch):
+    # Shrink the workload knobs so examples stay fast under test.
+    path = os.path.join(EXAMPLES_DIR, script)
+    module_globals = runpy.run_path(path, run_name="not_main")
+    if "NUM_ROWS" in module_globals:
+        monkeypatch.setitem(module_globals, "NUM_ROWS", 2000)
+    module_globals["main"]()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_quickstart_reproduces_figure_7(capsys):
+    path = os.path.join(EXAMPLES_DIR, "quickstart.py")
+    module_globals = runpy.run_path(path, run_name="not_main")
+    module_globals["main"]()
+    out = capsys.readouterr().out
+    # A <= 5 on the Figure 1 column matches rows with values {3,2,1,2,2,2,0,5}.
+    assert "rows [0, 1, 2, 3, 5, 6, 7, 9]" in out
+
+
+def test_examples_are_executable_as_scripts():
+    for script in EXAMPLES:
+        with open(os.path.join(EXAMPLES_DIR, script)) as handle:
+            text = handle.read()
+        assert '__name__ == "__main__"' in text, script
+        assert '"""' in text.split("\n", 1)[0] + text, script

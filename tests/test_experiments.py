@@ -1,0 +1,271 @@
+"""Integration tests: every experiment runs and reproduces the paper's shape.
+
+These use scaled-down parameters so the full suite stays fast; the
+benchmark harness runs the real configurations.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.__main__ import main, run_experiment
+from repro.experiments.harness import ExperimentResult, format_table, save_results
+
+
+class TestTable1:
+    def test_all_counts_match_formulas(self):
+        from repro.experiments import table1
+
+        result = table1.run(quick=True)
+        assert all(row[-1] == "yes" for row in result.rows)
+
+    def test_covers_all_operators_and_algorithms(self):
+        from repro.experiments import table1
+
+        result = table1.run(quick=True)
+        algorithms = {row[1] for row in result.rows}
+        assert algorithms == {"range_eval", "range_eval_opt"}
+        assert len({row[2] for row in result.rows}) == 6
+
+
+class TestFig8:
+    def test_opt_dominates(self):
+        from repro.experiments import fig8
+
+        result = fig8.run(quick=True, cardinality=20, base_step=2)
+        for row in result.rows:
+            base, n, scans_re, scans_opt, ops_re, ops_opt = row
+            assert scans_opt <= scans_re + 1e-9
+            assert ops_opt <= ops_re + 1e-9
+
+    def test_single_component_base_is_fastest(self):
+        from repro.experiments import fig8
+
+        result = fig8.run(quick=True, cardinality=20, base_step=1)
+        by_base = {row[0]: row[3] for row in result.rows}
+        assert by_base[20] == min(by_base.values())
+
+
+class TestFig9:
+    def test_range_front_dominates_equality(self):
+        from repro.experiments import fig9
+
+        results = fig9.run(quick=True, cardinalities=(30,))
+        (result,) = results
+        range_points = [
+            (row[2], row[3]) for row in result.rows if row[0] == "range"
+        ]
+        equality_points = [
+            (row[2], row[3]) for row in result.rows if row[0] == "equality"
+        ]
+        assert range_points and equality_points
+        dominated = sum(
+            1
+            for es, et in equality_points
+            if any(rs <= es and rt <= et + 1e-9 for rs, rt in range_points)
+        )
+        assert dominated / len(equality_points) >= 0.8
+
+
+class TestFig10:
+    def test_space_optimal_family_approximates_pareto_front(self):
+        from repro.experiments import fig10
+
+        result = fig10.run(quick=True, cardinality=36)
+        note = next(n for n in result.notes if "space-optimal family" in n)
+        covered, total = note.split()[0].split("/")
+        # The paper claims approximation, not identity: most family points
+        # sit on the overall front.
+        assert int(covered) >= int(total) / 2
+
+    def test_space_optimal_family_is_a_staircase(self):
+        from repro.experiments import fig10
+
+        family = fig10.space_optimal_family(36)
+        spaces = [p.space for p in family]
+        times = [p.time for p in family]
+        assert spaces == sorted(spaces, reverse=True)
+        assert times == sorted(times)
+
+
+class TestFig11:
+    def test_knee_is_two_components_and_matches_theorem(self):
+        from repro.experiments import fig11
+
+        for cardinality in (36, 100, 250):
+            result = fig11.run(quick=True, cardinality=cardinality)
+            knee_rows = [row for row in result.rows if row[4]]
+            assert len(knee_rows) == 1
+            assert knee_rows[0][0] == 2  # knee at n = 2
+            assert any("matches" in note for note in result.notes)
+
+
+class TestTable2:
+    def test_heuristic_quality(self):
+        from repro.experiments import table2
+
+        result = table2.run(quick=True, cardinalities=(36, 60))
+        for row in result.rows:
+            assert row[2] >= 90.0  # percent optimal
+
+
+class TestFig14:
+    def test_hump_shape(self):
+        from repro.experiments import fig14
+
+        result = fig14.run(quick=True, cardinality=60)
+        sizes = [row[1] for row in result.rows]
+        assert sizes[-1] == 1  # generous budgets early-exit
+        assert max(sizes) > 10  # a real hump in between
+
+
+class TestTable3:
+    def test_cardinalities(self):
+        from repro.experiments import table3
+
+        result = table3.run(quick=True, rows1=2000, rows2=60_000)
+        by_name = {row[0]: row for row in result.rows}
+        assert by_name["data set 1"][4] == 50
+        assert by_name["data set 2"][4] == 2406
+
+
+class TestTable4:
+    def test_ccs_best_on_single_component(self):
+        from repro.experiments import table4
+
+        results = table4.run(quick=True, rows1=3000, rows2=2000, include_wah=False)
+        for result in results:
+            first = result.rows[0]  # the 1-component index
+            assert first[3] <= first[2]  # cCS% <= cBS%
+
+    def test_compression_gain_shrinks_with_components(self):
+        from repro.experiments import table4
+
+        results = table4.run(quick=True, rows1=3000, rows2=2000, include_wah=False)
+        for result in results:
+            assert result.rows[-1][2] > result.rows[0][2]  # cBS% grows with n
+
+
+class TestFig16:
+    def test_runs_and_reports_all_schemes(self):
+        from repro.experiments import fig16
+
+        result = fig16.run(quick=True, num_rows=4000, max_n=3)
+        assert {row[1] for row in result.rows} == {"BS", "cBS", "cCS"}
+        assert len({row[0] for row in result.rows}) == 3
+
+    def test_ccs_smallest_at_one_component(self):
+        from repro.experiments import fig16
+
+        result = fig16.run(quick=True, num_rows=4000, max_n=2)
+        sizes = {(row[0], row[1]): row[2] for row in result.rows}
+        assert sizes[(1, "cCS")] < sizes[(1, "BS")]
+
+    def test_dataset_two_variant_amplifies_the_shape(self):
+        from repro.experiments import fig16
+
+        result = fig16.run(
+            quick=True, num_rows=5000, max_n=2, dataset=2, max_queries=120
+        )
+        sizes = {(row[0], row[1]): row[2] for row in result.rows}
+        times = {(row[0], row[1]): row[3] for row in result.rows}
+        # Extreme compression AND extreme decompression penalty at n = 1.
+        assert sizes[(1, "cCS")] < sizes[(1, "BS")] / 10
+        assert times[(1, "cCS")] > 3 * times[(1, "BS")]
+
+    def test_dataset_validation(self):
+        from repro.experiments import fig16
+
+        with pytest.raises(ValueError):
+            fig16.run(quick=True, num_rows=1000, dataset=3)
+
+
+class TestFig17:
+    def test_min_time_monotone(self):
+        from repro.experiments import fig17
+
+        result = fig17.run(quick=True, cardinality=36, buffers=(0, 1, 2, 4))
+        times = [row[2] for row in result.rows]
+        assert times == sorted(times, reverse=True) or all(
+            times[i] >= times[i + 1] - 1e-12 for i in range(len(times) - 1)
+        )
+
+
+class TestCrossover:
+    def test_crossover_near_one_thirty_second(self):
+        from repro.experiments import crossover
+
+        result = crossover.run(quick=True, num_rows=30_000, cardinality=1000)
+        note = result.notes[0]
+        assert "0.0312" in note
+        # Parse the first observed bitmap-win selectivity from the note.
+        observed = float(note.rsplit(" ", 1)[1])
+        assert 1 / 32 - 0.01 <= observed <= 1 / 32 + 0.01
+
+
+class TestHarness:
+    def test_format_table(self):
+        result = ExperimentResult("x", "demo", ["a", "b"])
+        result.add(1, 2.5)
+        result.note("hello")
+        text = format_table(result)
+        assert "demo" in text and "2.5000" in text and "note: hello" in text
+
+    def test_save_results(self, tmp_path):
+        result = ExperimentResult("demo", "t", ["a"])
+        result.add(1)
+        paths = save_results([result], str(tmp_path))
+        assert len(paths) == 1
+        assert os.path.exists(paths[0])
+        with open(paths[0]) as handle:
+            assert "demo" in handle.read()
+
+    def test_registry_modules_all_runnable(self):
+        # Smoke check: the registry names importable modules with run().
+        import importlib
+
+        for exp_id in EXPERIMENTS:
+            module = importlib.import_module(f"repro.experiments.{exp_id}")
+            assert callable(module.run)
+
+    def test_cli_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in EXPERIMENTS:
+            assert exp_id in out
+
+    def test_cli_unknown_experiment(self):
+        assert main(["nope"]) == 2
+
+    def test_cli_runs_one(self, capsys, tmp_path):
+        assert main(["table3", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out
+        assert (tmp_path / "table3.txt").exists()
+
+    def test_run_experiment_normalizes_lists(self):
+        results = run_experiment("table3", quick=True)
+        assert isinstance(results, list)
+        assert all(isinstance(r, ExperimentResult) for r in results)
+
+
+class TestFig13:
+    def test_window_contains_optimum(self):
+        from repro.experiments import fig13
+
+        result = fig13.run(quick=True, cardinality=36)
+        assert all(row[6] == "yes" for row in result.rows)
+        # The window is a real narrowing: never the full 1..max range.
+        from repro.core.optimize import max_components
+
+        assert all(row[3] <= max_components(36) for row in result.rows)
+
+    def test_bounds_ordered(self):
+        from repro.experiments import fig13
+
+        result = fig13.run(quick=True, cardinality=60)
+        for row in result.rows:
+            assert row[1] <= row[2]

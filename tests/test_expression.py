@@ -1,0 +1,204 @@
+"""Tests for the boolean expression layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decomposition import Base
+from repro.errors import InvalidPredicateError
+from repro.query.executor import VerificationError, bitmap_index_for
+from repro.query.expression import (
+    And,
+    Between,
+    Comparison,
+    In,
+    Not,
+    Or,
+    parse_expression,
+    select,
+)
+from repro.relation.relation import Relation
+from repro.stats import ExecutionStats
+
+
+@pytest.fixture
+def relation(rng) -> Relation:
+    return Relation.from_dict(
+        "t",
+        {
+            "a": rng.integers(0, 30, 1000),
+            "b": rng.integers(0, 8, 1000),
+        },
+    )
+
+
+@pytest.fixture
+def indexes(relation):
+    return {
+        "a": bitmap_index_for(relation, "a", base=Base((6, 5))),
+        "b": bitmap_index_for(relation, "b"),
+    }
+
+
+class TestParser:
+    def test_simple_comparison(self):
+        expr = parse_expression("a <= 5")
+        assert expr == Comparison("a", "<=", 5)
+
+    def test_precedence_and_binds_tighter_than_or(self):
+        expr = parse_expression("a = 1 or a = 2 and b = 3")
+        assert isinstance(expr, Or)
+        assert isinstance(expr.right, And)
+
+    def test_parentheses_override(self):
+        expr = parse_expression("(a = 1 or a = 2) and b = 3")
+        assert isinstance(expr, And)
+        assert isinstance(expr.left, Or)
+
+    def test_not(self):
+        expr = parse_expression("not a = 1")
+        assert expr == Not(Comparison("a", "=", 1))
+
+    def test_double_not(self):
+        expr = parse_expression("not not a = 1")
+        assert expr == Not(Not(Comparison("a", "=", 1)))
+
+    def test_in_list(self):
+        expr = parse_expression("a in (1, 2, 3)")
+        assert expr == In("a", (1, 2, 3))
+
+    def test_between(self):
+        expr = parse_expression("a between 3 and 9")
+        assert expr == Between("a", 3, 9)
+
+    def test_between_inside_conjunction(self):
+        expr = parse_expression("a between 3 and 9 and b = 1")
+        assert isinstance(expr, And)
+        assert expr.left == Between("a", 3, 9)
+
+    def test_float_and_string_values(self):
+        assert parse_expression("x >= 2.5") == Comparison("x", ">=", 2.5)
+        assert parse_expression("name = alice") == Comparison(
+            "name", "=", "alice"
+        )
+
+    def test_case_insensitive_keywords(self):
+        expr = parse_expression("a = 1 AND NOT b = 2")
+        assert isinstance(expr, And)
+        assert isinstance(expr.right, Not)
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "a <", "a = 1 or", "(a = 1", "a = 1)", "a in ()", "a in (1",
+         "a between 1", "and a = 1", "a ~ 1", "a = 1 b = 2"],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(InvalidPredicateError):
+            parse_expression(bad)
+
+    def test_str_round_trips_semantics(self, relation, indexes):
+        expr = parse_expression("a <= 5 and (b = 1 or b = 2)")
+        again = parse_expression(str(expr))
+        assert np.array_equal(again.mask(relation), expr.mask(relation))
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a <= 12",
+            "a <= 12 and b = 3",
+            "a = 1 or a = 7 or a = 29",
+            "not a <= 12",
+            "a in (0, 5, 29)",
+            "a between 10 and 20",
+            "(a <= 5 or a >= 25) and not b in (0, 1)",
+            "a between 10 and 20 and (b = 2 or not b <= 5)",
+            "a > 29",
+            "a != 15 and b != 0",
+        ],
+    )
+    def test_matches_ground_truth(self, relation, indexes, text):
+        rids = select(relation, text, indexes)
+        expr = parse_expression(text)
+        truth = np.nonzero(expr.mask(relation))[0]
+        assert np.array_equal(rids, truth)
+
+    def test_stats_counted(self, relation, indexes):
+        stats = ExecutionStats()
+        select(relation, "a <= 12 and b = 3", indexes, stats=stats)
+        assert stats.scans >= 2
+        assert stats.ands >= 1
+
+    def test_python_combinators(self, relation, indexes):
+        expr = (Comparison("a", "<=", 12) & Comparison("b", "=", 3)) | ~Comparison(
+            "a", ">", 5
+        )
+        rids = select(relation, expr, indexes)
+        truth = np.nonzero(expr.mask(relation))[0]
+        assert np.array_equal(rids, truth)
+
+    def test_attributes_collected(self):
+        expr = parse_expression("a <= 1 and (b = 2 or c = 3)")
+        assert expr.attributes() == {"a", "b", "c"}
+
+    def test_missing_index_rejected(self, relation, indexes):
+        with pytest.raises(InvalidPredicateError):
+            select(relation, "a = 1", {})
+
+    def test_in_empty_rejected(self):
+        with pytest.raises(InvalidPredicateError):
+            In("a", ())
+
+    def test_verification_catches_wrong_index(self, relation, indexes):
+        wrong = {"a": indexes["b"], "b": indexes["b"]}
+        with pytest.raises((VerificationError, Exception)):
+            select(relation, "a <= 12", wrong)
+
+    def test_values_absent_from_domain(self, relation, indexes):
+        rids = select(relation, "a between 28 and 99", indexes)
+        truth = np.nonzero(relation.column("a").values >= 28)[0]
+        assert np.array_equal(rids, truth)
+
+
+_leaf = st.sampled_from([
+    ("a", op, v)
+    for op in ("<", "<=", "=", "!=", ">=", ">")
+    for v in (-1, 0, 7, 15, 29, 30)
+] + [
+    ("b", op, v)
+    for op in ("<=", "=", ">")
+    for v in (0, 3, 7)
+])
+
+
+def _expr_strategy():
+    leaves = _leaf.map(lambda t: Comparison(*t))
+    return st.recursive(
+        leaves,
+        lambda children: st.one_of(
+            st.tuples(children, children).map(lambda p: And(*p)),
+            st.tuples(children, children).map(lambda p: Or(*p)),
+            children.map(Not),
+        ),
+        max_leaves=8,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(expr=_expr_strategy())
+def test_random_expressions_match_ground_truth(expr):
+    rng = np.random.default_rng(42)
+    relation = Relation.from_dict(
+        "t", {"a": rng.integers(0, 30, 300), "b": rng.integers(0, 8, 300)}
+    )
+    indexes = {
+        "a": bitmap_index_for(relation, "a", base=Base((6, 5))),
+        "b": bitmap_index_for(relation, "b"),
+    }
+    rids = select(relation, expr, indexes, verify=False)
+    truth = np.nonzero(expr.mask(relation))[0]
+    assert np.array_equal(rids, truth)

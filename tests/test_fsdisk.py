@@ -1,0 +1,114 @@
+"""Tests for the real-filesystem disk backend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.decomposition import Base
+from repro.core.evaluation import Predicate, evaluate
+from repro.errors import CorruptFileError, FileMissingError, StorageError
+from repro.storage.fsdisk import FileSystemDisk
+from repro.storage.schemes import open_scheme, write_index
+
+from conftest import make_index
+
+
+@pytest.fixture
+def disk(tmp_path) -> FileSystemDisk:
+    return FileSystemDisk(str(tmp_path / "store"))
+
+
+class TestBasicOperations:
+    def test_write_read_round_trip(self, disk):
+        disk.write("a/b", b"hello")
+        assert disk.read("a/b") == b"hello"
+        assert disk.exists("a/b")
+
+    def test_accounting(self, disk):
+        disk.write("f", b"12345")
+        disk.read("f")
+        assert disk.stats.bytes_written == 5
+        assert disk.stats.bytes_read == 5
+
+    def test_missing_file(self, disk):
+        with pytest.raises(FileMissingError):
+            disk.read("nope")
+        with pytest.raises(FileMissingError):
+            disk.delete("nope")
+        with pytest.raises(FileMissingError):
+            disk.size_of("nope")
+
+    def test_list_files(self, disk):
+        disk.write("x/a", b"")
+        disk.write("x/b", b"")
+        disk.write("y/c", b"")
+        assert disk.list_files("x/") == ["x/a", "x/b"]
+        assert len(disk.list_files()) == 3
+
+    def test_delete(self, disk):
+        disk.write("f", b"1")
+        disk.delete("f")
+        assert not disk.exists("f")
+
+    def test_total_bytes(self, disk):
+        disk.write("x/a", b"123")
+        disk.write("x/b", b"4567")
+        assert disk.total_bytes("x/") == 7
+
+    def test_overwrite(self, disk):
+        disk.write("f", b"old")
+        disk.write("f", b"new!")
+        assert disk.read("f") == b"new!"
+
+
+class TestPathSafety:
+    @pytest.mark.parametrize("path", ["../escape", "a/../../b", "a//b", ""])
+    def test_traversal_rejected(self, disk, path):
+        with pytest.raises(StorageError):
+            disk.write(path, b"x")
+
+
+class TestFailureInjection:
+    def test_truncate(self, disk):
+        disk.write("f", b"123456")
+        disk.truncate("f", 2)
+        assert disk.read("f") == b"12"
+
+    def test_corrupt_byte(self, disk):
+        disk.write("f", b"\x00\x00")
+        disk.corrupt_byte("f", 1)
+        assert disk.read("f") == b"\x00\xff"
+
+    def test_corrupt_bounds(self, disk):
+        disk.write("f", b"ab")
+        with pytest.raises(IndexError):
+            disk.corrupt_byte("f", 2)
+
+
+class TestSchemesOnRealFiles:
+    @pytest.mark.parametrize("scheme_name", ["BS", "cBS", "cCS", "cIS"])
+    def test_index_round_trip(self, disk, scheme_name):
+        index = make_index(num_rows=150, cardinality=30, base=Base((6, 5)))
+        write_index(disk, "idx", index, scheme_name)
+        reopened = open_scheme(disk, "idx")
+        for op in ("<=", "=", "!="):
+            got = evaluate(reopened, Predicate(op, 11))
+            assert got == index.naive_eval(op, 11)
+            reopened.reset_cache()
+
+    def test_persistence_across_disk_objects(self, tmp_path):
+        index = make_index(num_rows=100, cardinality=20, base=Base((5, 4)))
+        first = FileSystemDisk(str(tmp_path / "db"))
+        write_index(first, "idx", index, "cBS")
+        # A brand-new handle over the same directory sees the index.
+        second = FileSystemDisk(str(tmp_path / "db"))
+        reopened = open_scheme(second, "idx")
+        got = evaluate(reopened, Predicate("<=", 7))
+        assert got == index.naive_eval("<=", 7)
+
+    def test_corruption_detected_through_schemes(self, disk):
+        index = make_index(num_rows=100, cardinality=20, base=Base((5, 4)))
+        scheme = write_index(disk, "idx", index, "BS")
+        disk.corrupt_byte("idx/c1_s0", 0)
+        with pytest.raises(CorruptFileError):
+            evaluate(scheme, Predicate("<=", 0))

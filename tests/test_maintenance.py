@@ -1,0 +1,175 @@
+"""Tests for the index-maintenance extension (append / update / delete)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decomposition import Base
+from repro.core.encoding import EncodingScheme
+from repro.core.evaluation import OPERATORS, Predicate, evaluate
+from repro.core.index import BitmapIndex
+from repro.errors import ValueOutOfRangeError
+
+CARDINALITY = 24
+BASES = [Base((24,)), Base((6, 4)), Base((2, 3, 4)), Base.binary(24)]
+ENCODINGS = list(EncodingScheme)
+
+
+def _fresh(base: Base, encoding: EncodingScheme, seed: int = 8) -> BitmapIndex:
+    rng = np.random.default_rng(seed)
+    return BitmapIndex(rng.integers(0, CARDINALITY, 80), CARDINALITY, base, encoding)
+
+
+def _assert_consistent(index: BitmapIndex) -> None:
+    """Every operator/constant still matches the maintained ground truth."""
+    for op in OPERATORS:
+        for v in range(0, CARDINALITY, 5):
+            assert evaluate(index, Predicate(op, v)) == index.naive_eval(op, v), (
+                op,
+                v,
+            )
+
+
+@pytest.mark.parametrize("base", BASES, ids=str)
+@pytest.mark.parametrize("encoding", ENCODINGS)
+class TestAppend:
+    def test_append_then_query(self, base, encoding):
+        index = _fresh(base, encoding)
+        extra = np.random.default_rng(1).integers(0, CARDINALITY, 30)
+        index.append(extra)
+        assert index.nbits == 110
+        assert all(c.nbits == 110 for c in index.components)
+        _assert_consistent(index)
+
+    def test_append_with_nulls(self, base, encoding):
+        index = _fresh(base, encoding)
+        extra = np.array([0, 5, 23])
+        index.append(extra, nulls=np.array([False, True, False]))
+        assert index.nonnull is not None
+        assert not index.nonnull.get(81)  # the appended null row
+        assert index.nonnull.get(80)
+        _assert_consistent(index)
+
+
+class TestAppendValidation:
+    def test_out_of_range_values(self):
+        index = _fresh(Base((6, 4)), EncodingScheme.RANGE)
+        with pytest.raises(ValueOutOfRangeError):
+            index.append(np.array([CARDINALITY]))
+
+    def test_mismatched_null_mask(self):
+        index = _fresh(Base((6, 4)), EncodingScheme.RANGE)
+        with pytest.raises(ValueOutOfRangeError):
+            index.append(np.array([1, 2]), nulls=np.array([True]))
+
+    def test_empty_append_is_noop(self):
+        index = _fresh(Base((6, 4)), EncodingScheme.RANGE)
+        index.append(np.array([], dtype=np.int64))
+        assert index.nbits == 80
+        _assert_consistent(index)
+
+
+@pytest.mark.parametrize("base", BASES, ids=str)
+@pytest.mark.parametrize("encoding", ENCODINGS)
+class TestUpdate:
+    def test_update_then_query(self, base, encoding):
+        index = _fresh(base, encoding)
+        index.update(0, 23)
+        index.update(79, 0)
+        index.update(40, 11)
+        _assert_consistent(index)
+
+    def test_self_update_touches_nothing(self, base, encoding):
+        index = _fresh(base, encoding)
+        old = int(index._values[7])
+        assert index.update(7, old) == 0
+
+
+class TestUpdateCosts:
+    def test_value_list_touches_two_bitmaps(self):
+        """Equality encoding: clear the old value bitmap, set the new one."""
+        index = _fresh(Base((24,)), EncodingScheme.EQUALITY)
+        old = int(index._values[3])
+        new = (old + 10) % CARDINALITY
+        assert index.update(3, new) == 2
+
+    def test_range_encoded_touches_digit_distance(self):
+        """Range encoding flips every bitmap between old and new digit."""
+        index = _fresh(Base((24,)), EncodingScheme.RANGE)
+        index.update(3, 0)
+        touched = index.update(3, 23)
+        assert touched == 23  # bitmaps 0..22 all flip
+
+    def test_validation(self):
+        index = _fresh(Base((6, 4)), EncodingScheme.RANGE)
+        with pytest.raises(ValueOutOfRangeError):
+            index.update(80, 0)
+        with pytest.raises(ValueOutOfRangeError):
+            index.update(0, CARDINALITY)
+
+
+@pytest.mark.parametrize("encoding", ENCODINGS)
+class TestDelete:
+    def test_delete_hides_row(self, encoding):
+        index = _fresh(Base((6, 4)), encoding)
+        value = int(index._values[10])
+        before = evaluate(index, Predicate("=", value)).count()
+        index.delete(10)
+        after = evaluate(index, Predicate("=", value)).count()
+        assert after == before - 1
+        _assert_consistent(index)
+
+    def test_delete_then_update_revives(self, encoding):
+        index = _fresh(Base((6, 4)), encoding)
+        index.delete(10)
+        index.update(10, 5)
+        assert index.nonnull.get(10)
+        assert evaluate(index, Predicate("=", 5)).get(10)
+        _assert_consistent(index)
+
+    def test_double_delete_touches_nothing_more(self, encoding):
+        index = _fresh(Base((6, 4)), encoding)
+        first = index.delete(10)
+        second = index.delete(10)
+        assert first >= 1
+        assert second == 0
+
+    def test_rid_validation(self, encoding):
+        index = _fresh(Base((6, 4)), encoding)
+        with pytest.raises(ValueOutOfRangeError):
+            index.delete(-1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["append", "update", "delete"]),
+            st.integers(0, 10_000),
+        ),
+        min_size=1,
+        max_size=12,
+    ),
+    encoding=st.sampled_from(ENCODINGS),
+)
+def test_random_maintenance_sequences(ops, encoding):
+    """Property: any interleaving of maintenance ops keeps queries exact."""
+    rng = np.random.default_rng(0)
+    index = BitmapIndex(
+        rng.integers(0, CARDINALITY, 40), CARDINALITY, Base((6, 4)), encoding
+    )
+    for kind, seed in ops:
+        op_rng = np.random.default_rng(seed)
+        if kind == "append":
+            index.append(op_rng.integers(0, CARDINALITY, 5))
+        elif kind == "update":
+            rid = int(op_rng.integers(0, index.nbits))
+            index.update(rid, int(op_rng.integers(0, CARDINALITY)))
+        else:
+            index.delete(int(op_rng.integers(0, index.nbits)))
+    for op in ("<=", "=", "!="):
+        for v in (0, 7, CARDINALITY - 1):
+            assert evaluate(index, Predicate(op, v)) == index.naive_eval(op, v)

@@ -1,0 +1,116 @@
+"""Tests for the multi-attribute budget allocator."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core import costmodel
+from repro.core.multi import AttributeSpec, TableDesign, allocate_budget
+from repro.core.optimize import (
+    max_components,
+    time_optimal_under_space_heuristic,
+)
+from repro.errors import OptimizationError
+
+
+class TestSpecs:
+    def test_validation(self):
+        with pytest.raises(OptimizationError):
+            AttributeSpec("a", 1)
+        with pytest.raises(OptimizationError):
+            AttributeSpec("a", 10, weight=0)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(OptimizationError):
+            allocate_budget(
+                [AttributeSpec("a", 10), AttributeSpec("a", 20)], 30
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(OptimizationError):
+            allocate_budget([], 10)
+
+
+class TestAllocation:
+    def test_budget_respected(self):
+        specs = [AttributeSpec("a", 100), AttributeSpec("b", 50)]
+        design = allocate_budget(specs, 40)
+        assert design.total_bitmaps <= 40
+        assert set(design.indexes) == {"a", "b"}
+        for spec in specs:
+            assert design.indexes[spec.name].covers(spec.cardinality)
+
+    def test_floor_enforced(self):
+        specs = [AttributeSpec("a", 100), AttributeSpec("b", 50)]
+        minimum = max_components(100) + max_components(50)
+        with pytest.raises(OptimizationError):
+            allocate_budget(specs, minimum - 1)
+        design = allocate_budget(specs, minimum)
+        assert design.budgets["a"] == max_components(100)
+        assert design.budgets["b"] == max_components(50)
+
+    def test_generous_budget_gives_time_optimal_everywhere(self):
+        specs = [AttributeSpec("a", 20), AttributeSpec("b", 12)]
+        design = allocate_budget(specs, 19 + 11)
+        assert costmodel.time_range(design.indexes["a"]) == pytest.approx(
+            costmodel.time_range(time_optimal_under_space_heuristic(19, 20))
+        )
+        assert design.expected_scans < 1.5
+
+    def test_heavier_weight_attracts_budget(self):
+        light = allocate_budget(
+            [AttributeSpec("hot", 100, weight=1.0),
+             AttributeSpec("cold", 100, weight=1.0)],
+            40,
+        )
+        skewed = allocate_budget(
+            [AttributeSpec("hot", 100, weight=10.0),
+             AttributeSpec("cold", 100, weight=0.1)],
+            40,
+        )
+        assert skewed.budgets["hot"] >= light.budgets["hot"]
+        assert costmodel.time_range(skewed.indexes["hot"]) <= costmodel.time_range(
+            light.indexes["hot"]
+        )
+
+    def test_higher_budget_never_worse(self):
+        specs = [AttributeSpec("a", 60), AttributeSpec("b", 40, weight=2.0)]
+        previous = float("inf")
+        for budget in (12, 20, 30, 50, 90):
+            design = allocate_budget(specs, budget)
+            assert design.expected_scans <= previous + 1e-9
+            previous = design.expected_scans
+
+    @pytest.mark.parametrize("budget", [12, 16, 22, 30])
+    def test_near_exhaustive_split(self, budget):
+        """Greedy matches the best split found by trying every division."""
+        specs = [AttributeSpec("a", 30), AttributeSpec("b", 20, weight=2.0)]
+        design = allocate_budget(specs, budget)
+        floor_a = max_components(30)
+        floor_b = max_components(20)
+        best = float("inf")
+        for m_a in range(floor_a, budget - floor_b + 1):
+            m_b = budget - m_a
+            t_a = costmodel.time_range(
+                time_optimal_under_space_heuristic(m_a, 30)
+            )
+            t_b = costmodel.time_range(
+                time_optimal_under_space_heuristic(m_b, 20)
+            )
+            best = min(best, (1.0 * t_a + 2.0 * t_b) / 3.0)
+        # Greedy over convex-ish curves: allow a small slack.
+        assert design.expected_scans <= best * 1.05 + 1e-9
+
+    def test_str_rendering(self):
+        design = allocate_budget([AttributeSpec("a", 20)], 10)
+        assert isinstance(design, TableDesign)
+        assert "bitmaps" in str(design)
+
+    def test_single_attribute_degenerates_to_constrained_search(self):
+        design = allocate_budget([AttributeSpec("a", 100)], 25)
+        expected = time_optimal_under_space_heuristic(25, 100)
+        assert design.expected_scans == pytest.approx(
+            costmodel.time_range(expected)
+        )

@@ -1,0 +1,390 @@
+"""Tests for the Section 6-8 optimization machinery.
+
+Every closed-form characterization is validated against brute-force
+search over the enumerated design space at small cardinalities.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import costmodel
+from repro.core.decomposition import Base, product
+from repro.core.optimize import (
+    DesignPoint,
+    candidate_set_size,
+    design_space,
+    enumerate_bases,
+    find_knee,
+    find_smallest_n,
+    global_space_optimal_base,
+    global_time_optimal_base,
+    knee_base,
+    max_components,
+    pareto_front,
+    refine_index,
+    space_optimal_base,
+    space_optimal_bitmaps,
+    time_optimal_base,
+    time_optimal_under_space,
+    time_optimal_under_space_heuristic,
+)
+from repro.errors import InvalidBaseError, OptimizationError
+
+
+class TestMaxComponents:
+    @pytest.mark.parametrize(
+        "cardinality,expected",
+        [(2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4), (1000, 10), (1024, 10)],
+    )
+    def test_values(self, cardinality, expected):
+        assert max_components(cardinality) == expected
+
+    def test_rejects_tiny(self):
+        with pytest.raises(InvalidBaseError):
+            max_components(1)
+
+
+class TestSpaceOptimal:
+    def test_paper_c1000_values(self):
+        assert space_optimal_base(1000, 1) == Base((1000,))
+        assert space_optimal_base(1000, 2) == Base((32, 32))
+        assert space_optimal_base(1000, 3) == Base((10, 10, 10))
+        assert space_optimal_bitmaps(1000, 2) == 62
+        assert space_optimal_bitmaps(1000, 10) == 10
+
+    def test_covers_cardinality(self):
+        for c in (10, 17, 100, 999):
+            for n in range(1, max_components(c) + 1):
+                base = space_optimal_base(c, n)
+                assert base.covers(c)
+                assert base.n == n
+
+    @pytest.mark.parametrize("cardinality", [10, 17, 36, 100])
+    def test_minimal_by_brute_force(self, cardinality):
+        for n in range(1, max_components(cardinality) + 1):
+            claimed = space_optimal_bitmaps(cardinality, n)
+            best = min(
+                costmodel.space_range(b)
+                for b in enumerate_bases(
+                    cardinality, exact_n=n, max_space=cardinality, tight_only=True
+                )
+            )
+            assert claimed == best
+
+    def test_monotone_in_components(self):
+        """Theorem 6.1(2): more components never cost more bitmaps."""
+        for c in (10, 100, 1000):
+            sizes = [
+                space_optimal_bitmaps(c, n)
+                for n in range(1, max_components(c) + 1)
+            ]
+            assert sizes == sorted(sizes, reverse=True)
+
+    def test_invalid_n(self):
+        with pytest.raises(InvalidBaseError):
+            space_optimal_base(100, 0)
+        with pytest.raises(InvalidBaseError):
+            space_optimal_base(100, 8)  # max is 7
+
+    def test_global(self):
+        base = global_space_optimal_base(100)
+        assert base == Base.binary(100)
+        assert costmodel.space_range(base) == 7
+
+
+class TestTimeOptimal:
+    def test_paper_c1000_values(self):
+        assert time_optimal_base(1000, 1) == Base((1000,))
+        assert time_optimal_base(1000, 2) == Base((2, 500))
+        assert time_optimal_base(1000, 4) == Base((2, 2, 2, 125))
+
+    @pytest.mark.parametrize("cardinality", [10, 17, 36])
+    def test_fastest_by_brute_force(self, cardinality):
+        for n in range(1, max_components(cardinality) + 1):
+            claimed = costmodel.time_range(time_optimal_base(cardinality, n))
+            best = min(
+                costmodel.time_range(b)
+                for b in enumerate_bases(
+                    cardinality, exact_n=n, max_space=cardinality, tight_only=True
+                )
+            )
+            assert claimed <= best + 1e-12
+
+    def test_monotone_in_components(self):
+        """Theorem 6.1(4): more components never evaluate faster."""
+        for c in (10, 100, 1000):
+            times = [
+                costmodel.time_range(time_optimal_base(c, n))
+                for n in range(1, max_components(c) + 1)
+            ]
+            assert times == sorted(times)
+
+    def test_global_is_single_component(self):
+        assert global_time_optimal_base(1000) == Base((1000,))
+
+    def test_invalid_n(self):
+        with pytest.raises(InvalidBaseError):
+            time_optimal_base(8, 4)
+
+
+class TestKnee:
+    def test_paper_c1000(self):
+        assert knee_base(1000) == Base((28, 36))
+
+    def test_small_cardinalities(self):
+        assert knee_base(2) == Base((2,))
+        assert knee_base(3) == Base((2, 2))
+        assert knee_base(4) == Base((2, 2))
+        assert knee_base(100) == Base((10, 10))
+
+    @pytest.mark.parametrize("cardinality", [9, 25, 37, 64, 100, 500, 1000])
+    def test_most_time_efficient_two_component_space_optimal(self, cardinality):
+        """Theorem 7.1 against brute force."""
+        kb = knee_base(cardinality)
+        target = space_optimal_bitmaps(cardinality, 2)
+        assert costmodel.space_range(kb) == target
+        best = min(
+            costmodel.time_range(b)
+            for b in enumerate_bases(
+                cardinality, exact_n=2, max_space=target, tight_only=False
+            )
+            if costmodel.space_range(b) == target
+        )
+        assert costmodel.time_range(kb) <= best + 1e-12
+
+    def test_covers(self):
+        for c in range(2, 300):
+            assert knee_base(c).covers(c)
+
+
+class TestFindKnee:
+    def test_definition_on_synthetic_staircase(self):
+        points = [
+            DesignPoint(Base((100,)), 99, 1.32),
+            DesignPoint(Base((10, 10)), 18, 3.0),
+            DesignPoint(Base((4, 5, 5)), 11, 4.17),
+            DesignPoint(Base((2, 2, 3, 3, 3)), 8, 5.56),
+            DesignPoint(Base.binary(100), 7, 6.67),
+        ]
+        knee = find_knee(points)
+        assert knee.base == Base((10, 10))
+
+    def test_tiny_inputs(self):
+        single = [DesignPoint(Base((4,)), 3, 1.0)]
+        assert find_knee(single) is single[0]
+        with pytest.raises(OptimizationError):
+            find_knee([])
+
+
+class TestEnumeration:
+    def test_tight_bases_cover_and_are_tight(self):
+        for base in enumerate_bases(36, tight_only=True):
+            p = product(base.bases)
+            assert p >= 36
+            bmax = max(base.bases)
+            # Reducing the largest base number must lose coverage.
+            assert (p // bmax) * (bmax - 1) < 36
+
+    def test_necessary_bases(self):
+        for base in enumerate_bases(36, necessary_only=True, tight_only=False):
+            p = product(base.bases)
+            assert p >= 36
+            if base.n > 1:
+                assert p // max(2, min(base.bases)) < 36
+
+    def test_arrangement_largest_on_component_one(self):
+        for base in enumerate_bases(36, tight_only=True):
+            assert base.component(1) == max(base.bases)
+
+    def test_exact_n_filter(self):
+        for base in enumerate_bases(36, exact_n=2, max_space=36, tight_only=True):
+            assert base.n == 2
+
+    def test_max_space_filter(self):
+        for base in enumerate_bases(36, max_space=12, tight_only=True):
+            assert costmodel.space_range(base) <= 12
+
+    def test_no_duplicate_multisets(self):
+        seen = list(enumerate_bases(36, tight_only=True))
+        assert len(seen) == len({tuple(sorted(b.bases)) for b in seen})
+
+    def test_single_component_tight_is_exactly_c(self):
+        singles = [
+            b for b in enumerate_bases(36, tight_only=True) if b.n == 1
+        ]
+        assert singles == [Base((36,))]
+
+    def test_unbounded_unrestricted_rejected(self):
+        with pytest.raises(OptimizationError):
+            list(enumerate_bases(36, tight_only=False, necessary_only=False))
+
+    def test_unrestricted_counts_more(self):
+        tight = sum(1 for _ in enumerate_bases(36, max_space=20, tight_only=True))
+        loose = sum(
+            1
+            for _ in enumerate_bases(
+                36, max_space=20, tight_only=False, necessary_only=False
+            )
+        )
+        assert loose > tight
+
+
+class TestParetoFront:
+    def test_removes_dominated(self):
+        pts = [
+            DesignPoint(Base((4,)), 3, 1.0),
+            DesignPoint(Base((5,)), 4, 1.5),  # dominated: more space & time
+            DesignPoint(Base((2, 2)), 2, 2.0),
+        ]
+        front = pareto_front(pts)
+        assert [p.space for p in front] == [2, 3]
+
+    def test_keeps_faster_of_equal_space(self):
+        pts = [
+            DesignPoint(Base((4,)), 3, 2.0),
+            DesignPoint(Base((2, 2)), 3, 1.0),
+        ]
+        front = pareto_front(pts)
+        assert len(front) == 1
+        assert front[0].time == 1.0
+
+    def test_design_space_cloud(self):
+        cloud = design_space(36)
+        front = pareto_front(cloud)
+        assert front
+        for p in front:
+            assert not any(
+                q.space <= p.space and q.time < p.time - 1e-12 for q in cloud
+            )
+
+
+class TestFindSmallestN:
+    @pytest.mark.parametrize("cardinality", [20, 36, 100])
+    def test_space_is_exactly_budget(self, cardinality):
+        for budget in range(max_components(cardinality), cardinality):
+            n, seed = find_smallest_n(budget, cardinality)
+            assert seed.n == n
+            assert costmodel.space_range(seed) == budget
+            assert seed.covers(cardinality)
+
+    def test_n_is_smallest_feasible(self):
+        for budget in range(7, 40):
+            n, _ = find_smallest_n(budget, 100)
+            assert space_optimal_bitmaps(100, n) <= budget
+            if n > 1:
+                assert space_optimal_bitmaps(100, n - 1) > budget
+
+    def test_budget_below_minimum_rejected(self):
+        with pytest.raises(OptimizationError):
+            find_smallest_n(6, 100)  # minimum is 7 (base-2)
+
+
+class TestRefineIndex:
+    def test_worked_shape(self):
+        refined = refine_index(Base((10, 10, 10)), 100)
+        assert refined.covers(100)
+        assert costmodel.space_range(refined) <= costmodel.space_range(
+            Base((10, 10, 10))
+        )
+        assert costmodel.time_range(refined) <= costmodel.time_range(
+            Base((10, 10, 10))
+        )
+
+    def test_single_component_shrinks_to_c(self):
+        assert refine_index(Base((40,)), 36) == Base((36,))
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        bases=st.lists(st.integers(2, 15), min_size=1, max_size=5),
+        data=st.data(),
+    )
+    def test_invariants_property(self, bases, data):
+        base = Base(tuple(sorted(bases)))
+        cardinality = data.draw(st.integers(2, base.capacity))
+        refined = refine_index(base, cardinality)
+        assert refined.n == base.n
+        assert refined.covers(cardinality)
+        assert costmodel.space_range(refined) <= costmodel.space_range(base)
+        assert costmodel.time_range(refined) <= costmodel.time_range(base) + 1e-12
+
+
+class TestTimeOptUnderSpace:
+    @pytest.mark.parametrize("cardinality", [20, 36])
+    def test_exact_against_brute_force(self, cardinality):
+        for budget in range(max_components(cardinality), cardinality):
+            chosen = time_optimal_under_space(budget, cardinality)
+            assert costmodel.space_range(chosen) <= budget
+            best = min(
+                costmodel.time_range(b)
+                for b in enumerate_bases(
+                    cardinality, max_space=budget, tight_only=True
+                )
+            )
+            assert costmodel.time_range(chosen) <= best + 1e-12
+
+    def test_generous_budget_returns_global_time_optimal(self):
+        assert time_optimal_under_space(999, 1000) == Base((1000,))
+
+    def test_heuristic_feasible_and_near_optimal(self):
+        cardinality = 100
+        optimal_hits = 0
+        total = 0
+        for budget in range(max_components(cardinality), cardinality):
+            heuristic = time_optimal_under_space_heuristic(budget, cardinality)
+            assert costmodel.space_range(heuristic) <= budget
+            assert heuristic.covers(cardinality)
+            exact = time_optimal_under_space(budget, cardinality)
+            total += 1
+            if costmodel.time_range(heuristic) <= costmodel.time_range(exact) + 1e-9:
+                optimal_hits += 1
+        # The paper reports >= 97%; give a small safety margin.
+        assert optimal_hits / total >= 0.95
+
+    def test_budget_below_minimum_rejected(self):
+        with pytest.raises(OptimizationError):
+            time_optimal_under_space(5, 100)
+        with pytest.raises(OptimizationError):
+            time_optimal_under_space_heuristic(5, 100)
+
+
+class TestCandidateSetSize:
+    def test_early_exit_is_one(self):
+        assert candidate_set_size(99, 100) == 1
+
+    def test_counts_positive(self):
+        for budget in (10, 20, 40):
+            assert candidate_set_size(budget, 100) >= 1
+
+    def test_matches_direct_enumeration(self):
+        cardinality, budget = 36, 12
+        # Recompute by the definition, mirroring the algorithm's window.
+        n0 = next(
+            n
+            for n in range(1, max_components(cardinality) + 1)
+            if space_optimal_bitmaps(cardinality, n) <= budget
+        )
+        if costmodel.space_range(time_optimal_base(cardinality, n0)) <= budget:
+            expected = 1
+        else:
+            n1 = next(
+                n
+                for n in range(n0, max_components(cardinality) + 1)
+                if costmodel.space_range(time_optimal_base(cardinality, n)) <= budget
+            )
+            expected = 1 + sum(
+                sum(
+                    1
+                    for _ in enumerate_bases(
+                        cardinality,
+                        max_space=budget,
+                        exact_n=k,
+                        tight_only=False,
+                        necessary_only=False,
+                    )
+                )
+                for k in range(n0, n1)
+            )
+        assert candidate_set_size(budget, cardinality) == expected

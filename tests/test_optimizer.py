@@ -1,0 +1,185 @@
+"""Tests for the cost-based plan optimizer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.decomposition import Base
+from repro.errors import InvalidPredicateError
+from repro.query.executor import bitmap_index_for
+from repro.query.optimizer import (
+    PLAN_BITMAP_MERGE,
+    PLAN_FULL_SCAN,
+    PLAN_INDEX_PLUS_SCAN,
+    PLAN_RIDLIST_MERGE,
+    Catalog,
+    choose_plan,
+    estimate_selectivity,
+    execute_plan,
+)
+from repro.query.predicate import parse_predicate
+from repro.relation.relation import Relation
+from repro.relation.rid_index import RIDListIndex
+
+
+@pytest.fixture
+def relation(rng) -> Relation:
+    return Relation.from_dict(
+        "facts",
+        {
+            "region": rng.integers(0, 20, 4000),
+            "status": rng.integers(0, 5, 4000),
+        },
+    )
+
+
+@pytest.fixture
+def full_catalog(relation) -> Catalog:
+    return Catalog(
+        bitmap_indexes={
+            "region": bitmap_index_for(relation, "region", base=Base((5, 4))),
+            "status": bitmap_index_for(relation, "status"),
+        },
+        rid_indexes={
+            "region": RIDListIndex(relation.column("region").values),
+            "status": RIDListIndex(relation.column("status").values),
+        },
+    )
+
+
+class TestSelectivityEstimation:
+    def test_equality(self, relation):
+        sel = estimate_selectivity(relation, parse_predicate("region = 3"))
+        assert sel == pytest.approx(1 / 20)
+
+    def test_equality_absent_value(self, relation):
+        sel = estimate_selectivity(relation, parse_predicate("region = 99"))
+        assert sel == 0.0
+
+    def test_range(self, relation):
+        sel = estimate_selectivity(relation, parse_predicate("region <= 9"))
+        assert sel == pytest.approx(0.5)
+        sel = estimate_selectivity(relation, parse_predicate("region > 9"))
+        assert sel == pytest.approx(0.5)
+
+    def test_not_equal(self, relation):
+        sel = estimate_selectivity(relation, parse_predicate("region != 3"))
+        assert sel == pytest.approx(19 / 20)
+
+    def test_extremes(self, relation):
+        assert estimate_selectivity(relation, parse_predicate("region < 0")) == 0.0
+        assert estimate_selectivity(relation, parse_predicate("region >= 0")) == 1.0
+
+
+class TestPlanChoice:
+    def test_wide_query_picks_bitmap_merge(self, relation, full_catalog):
+        """The paper's headline: P3/bitmap wins for large foundsets."""
+        predicates = [
+            parse_predicate("region <= 15"),
+            parse_predicate("status <= 3"),
+        ]
+        choice = choose_plan(relation, predicates, full_catalog)
+        assert choice.plan == PLAN_BITMAP_MERGE
+        assert choice.alternatives[PLAN_BITMAP_MERGE] < choice.alternatives[
+            PLAN_RIDLIST_MERGE
+        ]
+
+    def test_needle_query_avoids_bitmap_merge(self, relation, full_catalog):
+        """A tiny foundset favours the RID-list path (below 1/32)."""
+        predicates = [parse_predicate("region = 3")]
+        choice = choose_plan(relation, predicates, full_catalog)
+        assert choice.plan in (PLAN_RIDLIST_MERGE, PLAN_INDEX_PLUS_SCAN)
+
+    def test_no_indexes_forces_full_scan(self, relation):
+        choice = choose_plan(
+            relation, [parse_predicate("region <= 5")], Catalog()
+        )
+        assert choice.plan == PLAN_FULL_SCAN
+
+    def test_partial_index_coverage_enables_p2(self, relation, full_catalog):
+        catalog = Catalog(
+            bitmap_indexes={"region": full_catalog.bitmap_indexes["region"]}
+        )
+        predicates = [
+            parse_predicate("region = 3"),
+            parse_predicate("status <= 3"),
+        ]
+        choice = choose_plan(relation, predicates, catalog)
+        assert choice.plan == PLAN_INDEX_PLUS_SCAN
+        assert choice.driving_attribute == "region"
+
+    def test_p2_drives_with_most_selective(self, relation, full_catalog):
+        predicates = [
+            parse_predicate("region <= 18"),  # ~95%
+            parse_predicate("status = 0"),  # 20%
+        ]
+        choice = choose_plan(relation, predicates, full_catalog)
+        if choice.plan == PLAN_INDEX_PLUS_SCAN:
+            assert choice.driving_attribute == "status"
+        # Either way P2's estimate must have used the selective predicate.
+        assert choice.alternatives[PLAN_INDEX_PLUS_SCAN] < relation.num_rows * (
+            relation.row_bytes
+        )
+
+    def test_empty_predicates_rejected(self, relation, full_catalog):
+        with pytest.raises(InvalidPredicateError):
+            choose_plan(relation, [], full_catalog)
+
+    def test_str_rendering(self, relation, full_catalog):
+        choice = choose_plan(
+            relation, [parse_predicate("region <= 5")], full_catalog
+        )
+        assert choice.plan in str(choice)
+
+
+class TestExecution:
+    @pytest.mark.parametrize(
+        "texts",
+        [
+            ["region <= 15", "status <= 3"],
+            ["region = 3"],
+            ["region = 3", "status = 1"],
+            ["region != 0"],
+            ["region > 25"],  # empty result
+        ],
+    )
+    def test_optimized_execution_correct(self, relation, full_catalog, texts):
+        predicates = [parse_predicate(t) for t in texts]
+        result, choice = execute_plan(relation, predicates, full_catalog)
+        mask = np.ones(relation.num_rows, dtype=bool)
+        for predicate in predicates:
+            mask &= predicate.matches(relation.column(predicate.attribute).values)
+        assert result.count == int(mask.sum())
+
+    def test_every_plan_executes_correctly(self, relation, full_catalog):
+        """Force each plan and check they all return the same rows."""
+        from repro.query.optimizer import PlanChoice
+
+        predicates = [
+            parse_predicate("region <= 10"),
+            parse_predicate("status <= 2"),
+        ]
+        baseline = None
+        for plan in (
+            PLAN_FULL_SCAN,
+            PLAN_INDEX_PLUS_SCAN,
+            PLAN_BITMAP_MERGE,
+            PLAN_RIDLIST_MERGE,
+        ):
+            forced = PlanChoice(plan, 0, {plan: 0}, driving_attribute="status")
+            result, _ = execute_plan(
+                relation, predicates, full_catalog, choice=forced
+            )
+            if baseline is None:
+                baseline = result.rids
+            else:
+                assert np.array_equal(result.rids, baseline)
+
+    def test_stats_reflect_plan(self, relation, full_catalog):
+        predicates = [parse_predicate("region <= 15")]
+        result, choice = execute_plan(relation, predicates, full_catalog)
+        if choice.plan == PLAN_BITMAP_MERGE:
+            assert result.stats.scans >= 1
+        else:
+            assert result.stats.bytes_read > 0

@@ -1,0 +1,114 @@
+"""Tests for the ASCII scatter renderer and the CLI --plot path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.__main__ import main
+from repro.experiments.plotting import MARKERS, ascii_scatter
+
+
+class TestAsciiScatter:
+    def test_contains_axes_and_legend(self):
+        text = ascii_scatter(
+            {"a": [(0, 0), (10, 5)], "b": [(5, 2)]},
+            xlabel="space",
+            ylabel="time",
+        )
+        assert "space" in text
+        assert "time" in text
+        assert "legend: * a   o b" in text
+
+    def test_markers_placed(self):
+        text = ascii_scatter({"only": [(0, 0), (1, 1)]}, width=10, height=5)
+        grid = "\n".join(line for line in text.splitlines() if "|" in line)
+        assert grid.count("*") == 2
+
+    def test_extreme_points_on_grid_corners(self):
+        text = ascii_scatter({"s": [(0, 0), (1, 1)]}, width=10, height=4)
+        lines = [l for l in text.splitlines() if "|" in l]
+        assert lines[0].rstrip().endswith("*")  # max y at top right
+        assert lines[-1].split("|")[1][0] == "*"  # min at bottom left
+
+    def test_single_point_degenerate_span(self):
+        text = ascii_scatter({"s": [(3, 3)]})
+        assert "*" in text
+
+    def test_empty_series_skipped(self):
+        assert ascii_scatter({"empty": []}) == "(no data to plot)"
+
+    def test_too_many_series_rejected(self):
+        series = {f"s{i}": [(0, 0)] for i in range(len(MARKERS) + 1)}
+        with pytest.raises(ValueError):
+            ascii_scatter(series)
+
+    def test_log_axes(self):
+        text = ascii_scatter(
+            {"s": [(1, 1), (1000, 100)]}, logx=True, logy=True
+        )
+        assert "1000" in text
+
+    def test_log_axis_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_scatter({"s": [(0, 1)]}, logx=True)
+        with pytest.raises(ValueError):
+            ascii_scatter({"s": [(1, -1)]}, logy=True)
+
+    def test_axis_labels_show_value_range(self):
+        text = ascii_scatter({"s": [(2, 10), (8, 40)]})
+        assert "2" in text and "8" in text
+        assert "40" in text and "10" in text
+
+
+class TestSvgScatter:
+    def test_valid_svg_with_points_and_legend(self):
+        from repro.experiments.plotting import svg_scatter
+
+        text = svg_scatter(
+            {"range": [(1, 2), (3, 4)], "equality": [(2, 3)]},
+            xlabel="space",
+            ylabel="time",
+            title="Figure 9",
+        )
+        assert text.startswith("<svg")
+        assert text.endswith("</svg>")
+        assert text.count("<circle") == 3 + 2  # points + legend dots
+        assert "Figure 9" in text
+        assert "space" in text and "time" in text
+
+    def test_escapes_markup(self):
+        from repro.experiments.plotting import svg_scatter
+
+        text = svg_scatter({"a<b": [(0, 0)]}, title="x & y")
+        assert "a&lt;b" in text
+        assert "x &amp; y" in text
+
+    def test_rejects_empty(self):
+        from repro.experiments.plotting import svg_scatter
+
+        with pytest.raises(ValueError):
+            svg_scatter({"empty": []})
+
+    def test_degenerate_single_point(self):
+        from repro.experiments.plotting import svg_scatter
+
+        assert "<circle" in svg_scatter({"s": [(5, 5)]})
+
+
+class TestCliPlot:
+    def test_plot_flag_renders_series(self, capsys):
+        assert main(["fig14", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out
+        assert "|I|" in out
+
+    def test_plot_flag_harmless_without_series(self, capsys):
+        assert main(["table3", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "legend:" not in out
+
+    def test_plot_with_out_saves_svg(self, capsys, tmp_path):
+        assert main(["fig14", "--plot", "--out", str(tmp_path)]) == 0
+        svg = tmp_path / "fig14.svg"
+        assert svg.exists()
+        assert svg.read_text().startswith("<svg")

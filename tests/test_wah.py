@@ -1,0 +1,107 @@
+"""Unit and property tests for the WAH codec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitmaps.wah import wah_decode, wah_encode, wah_word_count
+from repro.errors import CorruptFileError
+
+
+class TestRoundTrip:
+    def test_empty(self):
+        assert wah_decode(wah_encode(b"")) == b""
+
+    def test_all_zero_compresses_to_one_fill_word(self):
+        data = bytes(10_000)
+        encoded = wah_encode(data)
+        assert wah_word_count(encoded) == 1
+        assert wah_decode(encoded) == data
+
+    def test_all_one_compresses_to_one_fill_word(self):
+        # 31 bytes = 248 bits = 8 groups of 31 bits: no zero padding, so the
+        # whole input is one all-ones fill run.
+        data = b"\xff" * (31 * 100)
+        encoded = wah_encode(data)
+        assert wah_word_count(encoded) == 1
+        assert wah_decode(encoded) == data
+
+    def test_all_one_with_padding_tail(self):
+        # A non-31-bit-aligned all-ones input ends in a literal group
+        # (zero-padded), so exactly two words.
+        data = b"\xff" * 10_000
+        encoded = wah_encode(data)
+        assert wah_word_count(encoded) == 2
+        assert wah_decode(encoded) == data
+
+    def test_random_data_round_trips(self, rng):
+        data = rng.integers(0, 256, 5000, dtype=np.uint8).tobytes()
+        assert wah_decode(wah_encode(data)) == data
+
+    def test_runs_compress_well(self, rng):
+        # 0-runs and 1-runs of ~1000 bytes each.
+        chunks = []
+        for i in range(20):
+            chunks.append((b"\x00" if i % 2 else b"\xff") * 1000)
+        data = b"".join(chunks)
+        encoded = wah_encode(data)
+        assert len(encoded) < len(data) // 50
+        assert wah_decode(encoded) == data
+
+    def test_single_byte(self):
+        for byte in (b"\x00", b"\x01", b"\xff", b"\xa5"):
+            assert wah_decode(wah_encode(byte)) == byte
+
+    def test_mixed_literal_and_fill(self):
+        data = bytes(100) + b"\x37" * 7 + b"\xff" * 100 + b"\x01"
+        assert wah_decode(wah_encode(data)) == data
+
+    def test_incompressible_data_overhead_is_bounded(self, rng):
+        data = rng.integers(0, 256, 31 * 128, dtype=np.uint8).tobytes()
+        encoded = wah_encode(data)
+        # Worst case: one 32-bit word per 31 input bits plus the header.
+        assert len(encoded) <= len(data) * 32 // 31 + 16
+
+
+class TestCorruption:
+    def test_short_payload_raises(self):
+        with pytest.raises(CorruptFileError):
+            wah_decode(b"\x01\x02")
+
+    def test_unaligned_body_raises(self):
+        encoded = wah_encode(b"\x12\x34")
+        with pytest.raises(CorruptFileError):
+            wah_decode(encoded + b"\x00")
+
+    def test_truncated_body_raises(self):
+        encoded = wah_encode(bytes(1000))
+        with pytest.raises(CorruptFileError):
+            wah_decode(encoded[:-4])
+
+    def test_declared_length_beyond_bits_raises(self):
+        encoded = bytearray(wah_encode(b"\x00"))
+        encoded[0] = 0xFF  # inflate the declared original length
+        with pytest.raises(CorruptFileError):
+            wah_decode(bytes(encoded))
+
+
+@settings(max_examples=80, deadline=None)
+@given(data=st.binary(max_size=4000))
+def test_round_trip_property(data):
+    assert wah_decode(wah_encode(data)) == data
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    run_lengths=st.lists(
+        st.tuples(st.sampled_from([0, 255]), st.integers(1, 400)),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_run_structured_round_trip(run_lengths):
+    data = b"".join(bytes([value]) * count for value, count in run_lengths)
+    assert wah_decode(wah_encode(data)) == data

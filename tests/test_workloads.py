@@ -1,0 +1,143 @@
+"""Tests for the workload generators and query spaces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import OPERATORS
+from repro.errors import ValueOutOfRangeError
+from repro.workloads.generators import (
+    clustered_values,
+    uniform_values,
+    zipf_values,
+)
+from repro.workloads.queries import (
+    full_query_space,
+    restricted_query_space,
+    sample_queries,
+)
+from repro.workloads.tpcd import (
+    ORDERDATE_DAYS,
+    QUANTITY_CARDINALITY,
+    dataset1,
+    dataset2,
+    lineitem_relation,
+    order_relation,
+    orderdate_to_date,
+)
+
+
+class TestGenerators:
+    def test_uniform_bounds_and_determinism(self):
+        a = uniform_values(1000, 50, seed=7)
+        b = uniform_values(1000, 50, seed=7)
+        assert np.array_equal(a, b)
+        assert a.min() >= 0 and a.max() < 50
+
+    def test_uniform_different_seeds_differ(self):
+        assert not np.array_equal(
+            uniform_values(1000, 50, seed=1), uniform_values(1000, 50, seed=2)
+        )
+
+    def test_uniform_covers_domain(self):
+        values = uniform_values(5000, 20, seed=0)
+        assert len(np.unique(values)) == 20
+
+    def test_zipf_skews_toward_small_values(self):
+        values = zipf_values(5000, 50, skew=1.5, seed=0)
+        counts = np.bincount(values, minlength=50)
+        assert counts[0] > counts[10] > counts[40]
+
+    def test_zipf_zero_skew_roughly_uniform(self):
+        values = zipf_values(20000, 10, skew=0.0, seed=0)
+        counts = np.bincount(values, minlength=10)
+        assert counts.min() > 0.7 * counts.max()
+
+    def test_zipf_validation(self):
+        with pytest.raises(ValueOutOfRangeError):
+            zipf_values(10, 10, skew=-1)
+
+    def test_clustered_has_runs(self):
+        values = clustered_values(5000, 50, run_length=40, seed=0)
+        changes = int((values[1:] != values[:-1]).sum())
+        assert changes < 5000 / 10  # far fewer boundaries than rows
+
+    def test_clustered_validation(self):
+        with pytest.raises(ValueOutOfRangeError):
+            clustered_values(10, 10, run_length=0)
+
+    def test_common_validation(self):
+        with pytest.raises(ValueOutOfRangeError):
+            uniform_values(-1, 10)
+        with pytest.raises(ValueOutOfRangeError):
+            uniform_values(10, 0)
+
+    def test_empty(self):
+        assert len(uniform_values(0, 10)) == 0
+
+
+class TestQuerySpaces:
+    def test_full_space_size(self):
+        queries = list(full_query_space(10))
+        assert len(queries) == 60
+        assert {q.op for q in queries} == set(OPERATORS)
+        assert {q.value for q in queries} == set(range(10))
+
+    def test_restricted_space_size(self):
+        queries = list(restricted_query_space(10))
+        assert len(queries) == 20
+        assert {q.op for q in queries} == {"<=", "="}
+
+    def test_sample_queries(self):
+        queries = sample_queries(50, 100, seed=3)
+        assert len(queries) == 100
+        assert all(0 <= q.value < 50 for q in queries)
+        assert queries == sample_queries(50, 100, seed=3)
+
+    def test_sample_operator_subset(self):
+        queries = sample_queries(50, 40, operators=("=",), seed=1)
+        assert all(q.op == "=" for q in queries)
+
+    def test_sample_validation(self):
+        with pytest.raises(ValueOutOfRangeError):
+            sample_queries(50, -1)
+        with pytest.raises(ValueOutOfRangeError):
+            sample_queries(50, 5, operators=("~",))
+        with pytest.raises(ValueOutOfRangeError):
+            list(full_query_space(1))
+
+
+class TestTpcd:
+    def test_lineitem_shape(self):
+        rel = lineitem_relation(2000, seed=1)
+        quantity = rel.column("quantity")
+        assert quantity.values.min() >= 1
+        assert quantity.values.max() <= QUANTITY_CARDINALITY
+        assert rel.num_rows == 2000
+
+    def test_order_shape(self):
+        rel = order_relation(2000, seed=1)
+        dates = rel.column("orderdate")
+        assert dates.values.min() >= 0
+        assert dates.values.max() < ORDERDATE_DAYS
+
+    def test_dataset_specs(self):
+        _, spec1 = dataset1(num_rows=5000)
+        assert spec1.attribute == "quantity"
+        assert spec1.attribute_cardinality == QUANTITY_CARDINALITY
+        _, spec2 = dataset2(num_rows=60_000)
+        assert spec2.attribute == "orderdate"
+        # With enough rows every one of the 2406 days appears.
+        assert spec2.attribute_cardinality == ORDERDATE_DAYS
+
+    def test_determinism(self):
+        a, _ = dataset1(num_rows=100)
+        b, _ = dataset1(num_rows=100)
+        assert np.array_equal(
+            a.column("quantity").values, b.column("quantity").values
+        )
+
+    def test_orderdate_decoding(self):
+        assert str(orderdate_to_date(0)) == "1992-01-01"
+        assert str(orderdate_to_date(ORDERDATE_DAYS - 1)) == "1998-08-02"
