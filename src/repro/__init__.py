@@ -35,6 +35,7 @@ from repro.core import (
     range_eval_opt,
 )
 from repro.core.advisor import IndexDesign, recommend
+from repro.engine import QueryEngine, SharedBitmapCache
 from repro.core.aggregation import BitSlicedAggregator
 from repro.core.multi import AttributeSpec, TableDesign, allocate_budget
 from repro.errors import ReproError
@@ -53,7 +54,9 @@ __all__ = [
     "ExecutionStats",
     "IndexDesign",
     "Predicate",
+    "QueryEngine",
     "ReproError",
+    "SharedBitmapCache",
     "Table",
     "TableDesign",
     "allocate_budget",

@@ -1,0 +1,19 @@
+"""The concurrent serving layer: batch query engine, shared cache, metrics.
+
+See :mod:`repro.engine.engine` for the architecture overview and
+``docs/tutorial.md`` ("Serving queries concurrently") for a walkthrough.
+"""
+
+from repro.engine.cache import SharedBitmapCache
+from repro.engine.engine import IndexSpec, QueryEngine
+from repro.engine.metrics import EngineMetrics, percentile
+from repro.engine.registry import IndexRegistry
+
+__all__ = [
+    "EngineMetrics",
+    "IndexRegistry",
+    "IndexSpec",
+    "QueryEngine",
+    "SharedBitmapCache",
+    "percentile",
+]

@@ -1,0 +1,127 @@
+"""A shared, lock-protected LRU cache of decoded bitmaps.
+
+:class:`SharedBitmapCache` generalizes the per-index LRU policy of
+:class:`repro.storage.buffer.BufferPool` to the engine setting: one cache
+serves every index the :class:`~repro.engine.engine.QueryEngine` holds, so
+hot bitmaps compete for the same ``capacity`` slots regardless of which
+relation or attribute they belong to.  Keys are opaque hashable tuples
+(the engine uses ``(relation, attribute, component, slot)``).
+
+Concurrency contract
+--------------------
+All bookkeeping (the LRU order, the hit/miss/eviction counters) mutates
+under one internal lock, so any number of worker threads may ``get`` and
+``put`` concurrently.  Loading a missed bitmap is deliberately *not* done
+under the lock — two threads racing on the same cold key may both load it,
+which is harmless (the second ``put`` wins) and keeps slow fetches from
+serializing the whole engine.  The invariant tests rely on is::
+
+    hits + misses == number of get() calls
+
+A ``capacity`` of 0 disables caching entirely: every ``get`` is a miss and
+``put`` is a no-op, matching the zero-capacity semantics of
+:class:`~repro.storage.buffer.BufferPool`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from collections.abc import Hashable
+
+from repro.bitmaps.bitvector import BitVector
+from repro.errors import BufferConfigError
+
+
+class SharedBitmapCache:
+    """A thread-safe LRU bitmap cache keyed by arbitrary hashable keys.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of cached bitmaps.  ``0`` disables caching (every
+        lookup misses, nothing is ever stored).
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise BufferConfigError(f"cache capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[Hashable, BitVector] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+
+    def get(self, key: Hashable) -> BitVector | None:
+        """Return the cached bitmap for ``key``, or ``None`` on a miss."""
+        with self._lock:
+            bitmap = self._entries.get(key)
+            if bitmap is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return bitmap
+            self.misses += 1
+            return None
+
+    def put(self, key: Hashable, bitmap: BitVector) -> None:
+        """Insert (or refresh) a bitmap, evicting the LRU entry if full."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = bitmap
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every cached bitmap and reset the counters."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    @property
+    def fetches(self) -> int:
+        """Total lookups routed through the cache (``hits + misses``)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache so far."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> dict:
+        """A point-in-time, self-consistent view of the cache counters."""
+        with self._lock:
+            hits, misses = self.hits, self.misses
+            total = hits + misses
+            return {
+                "capacity": self.capacity,
+                "size": len(self._entries),
+                "hits": hits,
+                "misses": misses,
+                "evictions": self.evictions,
+                "hit_rate": hits / total if total else 0.0,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedBitmapCache(capacity={self.capacity}, size={len(self)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

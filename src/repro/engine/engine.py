@@ -1,0 +1,346 @@
+"""A concurrent batch query engine over bitmap-indexed relations.
+
+:class:`QueryEngine` is the serving layer the single-shot executor of
+:mod:`repro.query.executor` lacks: it registers relations once, builds each
+attribute's :class:`~repro.core.index.BitmapIndex` lazily behind a
+thread-safe :class:`~repro.engine.registry.IndexRegistry`, routes every
+bitmap fetch through one shared :class:`~repro.engine.cache.SharedBitmapCache`,
+and evaluates batches of :class:`~repro.query.predicate.AttributePredicate`
+queries on a thread pool.  Query evaluation reuses
+:func:`repro.query.executor.execute` with ``verify=False`` — the serving
+path must not pay a ground-truth scan per query; correctness is pinned by
+the differential and concurrency test suites instead.
+
+Why threads help: the AND/OR/NOT hot path runs inside numpy, which releases
+the GIL on large arrays, and (when the engine is configured with an
+:class:`~repro.storage.disk.DiskModel`) cache-miss I/O waits are simulated
+with real sleeps that concurrent workers overlap, exactly as a disk-backed
+deployment overlaps seeks.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.core.decomposition import Base, integer_nth_root_ceil
+from repro.core.encoding import EncodingScheme
+from repro.core.index import BitmapIndex
+from repro.engine.cache import SharedBitmapCache
+from repro.engine.metrics import EngineMetrics
+from repro.engine.registry import IndexRegistry
+from repro.errors import EngineConfigError
+from repro.query.executor import AccessPath, QueryResult, execute
+from repro.query.predicate import AttributePredicate
+from repro.relation.relation import Relation
+from repro.stats import ExecutionStats
+from repro.storage.disk import DiskModel
+
+
+@dataclass(frozen=True)
+class IndexSpec:
+    """How to build the bitmap index of one registered attribute.
+
+    ``base`` pins an exact decomposition (it must cover the attribute's
+    cardinality).  ``components`` instead asks for the smallest uniform
+    ``n``-component base for whatever the cardinality turns out to be —
+    the right knob when one registration covers attributes of different
+    cardinalities.  With neither, the single-component base ``<C>`` is
+    used (the index default).
+    """
+
+    base: Base | None = None
+    encoding: EncodingScheme = EncodingScheme.RANGE
+    components: int | None = None
+
+    def resolve_base(self, cardinality: int) -> Base | None:
+        if self.base is not None:
+            return self.base
+        if self.components is not None:
+            b = integer_nth_root_ceil(cardinality, self.components)
+            return Base.uniform(max(b, 2), cardinality)
+        return None
+
+
+class _CachedSource:
+    """Bitmap-source adapter routing one index's fetches through the cache.
+
+    Implements the :class:`~repro.core.index.BitmapSource` protocol.  A hit
+    costs no scan (it is charged as a ``buffer_hit``); a miss fetches from
+    the wrapped index (which records the scan on the per-query stats) and
+    publishes the bitmap to the shared cache.
+    """
+
+    __slots__ = ("_index", "_cache", "_prefix", "_sleep")
+
+    def __init__(
+        self,
+        index: BitmapIndex,
+        cache: SharedBitmapCache,
+        prefix: tuple,
+        sleep_seconds_per_byte: tuple[float, float] | None,
+    ):
+        self._index = index
+        self._cache = cache
+        self._prefix = prefix
+        self._sleep = sleep_seconds_per_byte
+
+    @property
+    def nbits(self) -> int:
+        return self._index.nbits
+
+    @property
+    def cardinality(self) -> int:
+        return self._index.cardinality
+
+    @property
+    def base(self) -> Base:
+        return self._index.base
+
+    @property
+    def encoding(self) -> EncodingScheme:
+        return self._index.encoding
+
+    @property
+    def nonnull(self):
+        return self._index.nonnull
+
+    def fetch(self, component: int, slot: int, stats: ExecutionStats):
+        key = self._prefix + (component, slot)
+        bitmap = self._cache.get(key)
+        if bitmap is not None:
+            stats.buffer_hits += 1
+            return bitmap
+        bitmap = self._index.fetch(component, slot, stats)
+        if self._sleep is not None:
+            seek, per_byte = self._sleep
+            wait = seek + per_byte * bitmap.nbytes
+            stats.io_seconds += wait
+            if wait > 0:
+                time.sleep(wait)
+        self._cache.put(key, bitmap)
+        return bitmap
+
+
+class QueryEngine:
+    """Serves batches of attribute predicates over registered relations.
+
+    Parameters
+    ----------
+    cache_capacity:
+        Bitmaps held by the shared LRU cache (0 disables caching).
+    max_workers:
+        Default thread-pool width for :meth:`submit_batch`.
+    io_model:
+        Optional :class:`~repro.storage.disk.DiskModel`; when given, every
+        cache miss sleeps the modeled read latency (scaled by
+        ``io_time_scale``), so the engine behaves like a disk-backed server
+        rather than a pure in-memory structure.  Leave ``None`` for tests.
+    io_time_scale:
+        Multiplier applied to the modeled latency (e.g. ``0.1`` to run a
+        benchmark 10x faster than the era model).
+    """
+
+    def __init__(
+        self,
+        *,
+        cache_capacity: int = 256,
+        max_workers: int = 4,
+        io_model: DiskModel | None = None,
+        io_time_scale: float = 1.0,
+    ):
+        if max_workers < 1:
+            raise EngineConfigError(f"max_workers must be >= 1, got {max_workers}")
+        if io_time_scale < 0:
+            raise EngineConfigError("io_time_scale must be >= 0")
+        self.max_workers = max_workers
+        self.cache = SharedBitmapCache(cache_capacity)
+        self.registry = IndexRegistry()
+        self.metrics = EngineMetrics()
+        self._relations: dict[str, Relation] = {}
+        self._specs: dict[str, dict[str, IndexSpec]] = {}
+        self._default_relation: str | None = None
+        if io_model is not None:
+            self._sleep = (
+                io_model.seek_seconds * io_time_scale,
+                io_time_scale / io_model.bandwidth_bytes_per_second,
+            )
+        else:
+            self._sleep = None
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def register(
+        self,
+        relation: Relation,
+        *,
+        attributes: list[str] | None = None,
+        base: Base | None = None,
+        encoding: EncodingScheme = EncodingScheme.RANGE,
+        components: int | None = None,
+        overrides: dict[str, IndexSpec] | None = None,
+    ) -> None:
+        """Make a relation queryable through the engine.
+
+        ``attributes`` restricts which columns are served (default: all).
+        ``base``/``encoding``/``components`` configure every served
+        attribute's index (see :class:`IndexSpec`); ``overrides`` replaces
+        the spec for individual attributes.  Indexes are built lazily on
+        first use — registration itself is cheap.
+        """
+        if attributes is None:
+            attributes = sorted(relation.columns)
+        specs: dict[str, IndexSpec] = {}
+        for attribute in attributes:
+            relation.column(attribute)  # raise early on unknown columns
+            specs[attribute] = IndexSpec(
+                base=base, encoding=encoding, components=components
+            )
+        for attribute, spec in (overrides or {}).items():
+            if attribute not in specs:
+                raise EngineConfigError(
+                    f"override for {attribute!r} which is not a served attribute"
+                )
+            specs[attribute] = spec
+        self._relations[relation.name] = relation
+        self._specs[relation.name] = specs
+        if self._default_relation is None:
+            self._default_relation = relation.name
+
+    def warm(self, relation: str | None = None) -> int:
+        """Eagerly build every served index; returns how many are resident."""
+        names = list(self._relations) if relation is None else [self._resolve(relation)]
+        for name in names:
+            for attribute in self._specs[name]:
+                self._index_for(name, attribute)
+        return len(self.registry)
+
+    # ------------------------------------------------------------------
+    # Query paths
+    # ------------------------------------------------------------------
+
+    def submit(
+        self, predicate: AttributePredicate, relation: str | None = None
+    ) -> QueryResult:
+        """Evaluate one predicate through the cached bitmap path."""
+        return self._run_one(self._resolve(relation), predicate)
+
+    def submit_batch(
+        self,
+        queries: list,
+        *,
+        workers: int | None = None,
+        relation: str | None = None,
+    ) -> list[QueryResult]:
+        """Evaluate a batch of queries, returning results in input order.
+
+        Each item is an :class:`AttributePredicate` (against ``relation``,
+        defaulting to the first registered one) or an explicit
+        ``(relation_name, predicate)`` pair.  ``workers=1`` runs the batch
+        inline on the calling thread — the sequential baseline.
+        """
+        resolved: list[tuple[str, AttributePredicate]] = []
+        for item in queries:
+            if isinstance(item, AttributePredicate):
+                resolved.append((self._resolve(relation), item))
+            else:
+                name, predicate = item
+                resolved.append((self._resolve(name), predicate))
+        workers = self.max_workers if workers is None else workers
+        if workers < 1:
+            raise EngineConfigError(f"workers must be >= 1, got {workers}")
+        if workers == 1 or len(resolved) <= 1:
+            return [self._run_one(name, pred) for name, pred in resolved]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(self._run_one, name, pred) for name, pred in resolved
+            ]
+            return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Engine-level metrics: queries, latency percentiles, cache, registry."""
+        out = self.metrics.snapshot()
+        out["cache"] = self.cache.snapshot()
+        out["registry"] = self.registry.snapshot()
+        return out
+
+    def reset_metrics(self) -> None:
+        """Zero the query metrics (cache contents and indexes survive)."""
+        self.metrics.reset()
+
+    def reset_cache(self) -> None:
+        """Drop cached bitmaps and cache counters (indexes survive)."""
+        self.cache.clear()
+
+    @property
+    def relations(self) -> list[str]:
+        return list(self._relations)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _resolve(self, relation: str | None) -> str:
+        if relation is None:
+            if self._default_relation is None:
+                raise EngineConfigError("no relation registered with the engine")
+            return self._default_relation
+        if relation not in self._relations:
+            known = ", ".join(sorted(self._relations)) or "<none>"
+            raise EngineConfigError(
+                f"relation {relation!r} is not registered; registered: {known}"
+            )
+        return relation
+
+    def _index_for(self, relation_name: str, attribute: str) -> BitmapIndex:
+        try:
+            spec = self._specs[relation_name][attribute]
+        except KeyError:
+            served = ", ".join(sorted(self._specs.get(relation_name, ())))
+            raise EngineConfigError(
+                f"attribute {attribute!r} of relation {relation_name!r} is not "
+                f"served by the engine; served attributes: {served}"
+            ) from None
+        relation = self._relations[relation_name]
+
+        def build() -> BitmapIndex:
+            column = relation.column(attribute)
+            return BitmapIndex(
+                column.codes,
+                cardinality=column.cardinality,
+                base=spec.resolve_base(column.cardinality),
+                encoding=spec.encoding,
+                keep_values=False,
+            )
+
+        return self.registry.get_or_build((relation_name, attribute), build)
+
+    def _run_one(self, relation_name: str, predicate: AttributePredicate) -> QueryResult:
+        start = time.perf_counter()
+        try:
+            index = self._index_for(relation_name, predicate.attribute)
+            source = _CachedSource(
+                index,
+                self.cache,
+                (relation_name, predicate.attribute),
+                self._sleep,
+            )
+            result = execute(
+                self._relations[relation_name],
+                predicate,
+                AccessPath.BITMAP,
+                index=source,
+                verify=False,
+            )
+        except Exception:
+            self.metrics.record_failure()
+            raise
+        self.metrics.record(time.perf_counter() - start, result.stats)
+        return result

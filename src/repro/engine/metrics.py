@@ -1,0 +1,83 @@
+"""Engine-level metrics: per-query stats merged under a lock.
+
+Worker threads finish queries in arbitrary order; each reports its
+latency and :class:`~repro.stats.ExecutionStats` to one
+:class:`EngineMetrics`, which merges them under a lock so the aggregate is
+always self-consistent.  ``snapshot()`` computes the serving-side numbers
+an operator watches: query count, p50/p95/p99 latency, and the summed
+bitmap-level counters (scans, ops, bytes read, buffer hits).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.stats import ExecutionStats
+
+
+def percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already-sorted, non-empty list."""
+    if not sorted_values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    rank = max(0, min(len(sorted_values) - 1, round(fraction * len(sorted_values)) - 1))
+    return sorted_values[rank]
+
+
+class EngineMetrics:
+    """Lock-protected aggregation of per-query latencies and stats."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._latencies: list[float] = []
+        self._stats = ExecutionStats()
+        self.queries = 0
+        self.failures = 0
+
+    def record(self, latency_seconds: float, stats: ExecutionStats) -> None:
+        """Fold one completed query into the aggregate."""
+        with self._lock:
+            self.queries += 1
+            self._latencies.append(latency_seconds)
+            self._stats.merge(stats)
+
+    def record_failure(self) -> None:
+        """Count a query that raised instead of completing."""
+        with self._lock:
+            self.failures += 1
+
+    def reset(self) -> None:
+        """Zero every counter (for benchmarking phases)."""
+        with self._lock:
+            self._latencies.clear()
+            self._stats = ExecutionStats()
+            self.queries = 0
+            self.failures = 0
+
+    @property
+    def stats(self) -> ExecutionStats:
+        """An independent copy of the merged execution stats."""
+        with self._lock:
+            return self._stats.copy()
+
+    def snapshot(self) -> dict:
+        """Aggregate metrics as a plain dict (stable keys, JSON-friendly)."""
+        with self._lock:
+            latencies = sorted(self._latencies)
+            queries = self.queries
+            failures = self.failures
+            stats = self._stats.copy()
+        out = {
+            "queries": queries,
+            "failures": failures,
+            "latency_ms": {
+                "mean": 1e3 * sum(latencies) / len(latencies) if latencies else 0.0,
+                "p50": 1e3 * percentile(latencies, 0.50) if latencies else 0.0,
+                "p95": 1e3 * percentile(latencies, 0.95) if latencies else 0.0,
+                "p99": 1e3 * percentile(latencies, 0.99) if latencies else 0.0,
+                "max": 1e3 * latencies[-1] if latencies else 0.0,
+            },
+            "stats": stats.as_dict(),
+        }
+        return out

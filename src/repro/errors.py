@@ -48,6 +48,14 @@ class BufferConfigError(ReproError, ValueError):
     """A buffer assignment is not well-defined for the index it targets."""
 
 
+class EngineConfigError(ReproError, ValueError):
+    """A query engine was configured or queried inconsistently.
+
+    Raised for unregistered relations/attributes, invalid worker or cache
+    settings, and index-spec overrides that target unserved attributes.
+    """
+
+
 class OptimizationError(ReproError):
     """An index-optimization routine cannot satisfy its constraints.
 

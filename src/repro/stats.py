@@ -70,6 +70,27 @@ class ExecutionStats:
         self.io_seconds += other.io_seconds
         self.cpu_seconds += other.cpu_seconds
 
+    def as_dict(self) -> dict:
+        """The counters as a plain dict (stable keys, JSON-serializable).
+
+        Used by the engine's ``snapshot()`` and the benchmark result files;
+        the derived ``ops`` total is included for convenience.
+        """
+        return {
+            "scans": self.scans,
+            "ands": self.ands,
+            "ors": self.ors,
+            "xors": self.xors,
+            "nots": self.nots,
+            "ops": self.ops,
+            "bytes_read": self.bytes_read,
+            "decompressed_bytes": self.decompressed_bytes,
+            "files_opened": self.files_opened,
+            "buffer_hits": self.buffer_hits,
+            "io_seconds": self.io_seconds,
+            "cpu_seconds": self.cpu_seconds,
+        }
+
     def copy(self) -> "ExecutionStats":
         """An independent copy of the current counter values."""
         out = ExecutionStats()

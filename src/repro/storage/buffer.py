@@ -16,6 +16,7 @@ policies:
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from repro.bitmaps.bitvector import BitVector
@@ -51,6 +52,11 @@ class BufferPool:
         the default pinned assignment.
     policy:
         ``'pinned'`` (the paper's model, default) or ``'lru'``.
+
+    An LRU ``capacity`` of 0 means *no caching*: every fetch is a recorded
+    miss passed straight to the source and nothing is ever stored.  The
+    pool is thread-safe — the LRU order and the hit/miss counters mutate
+    under an internal lock, so it can back a shared engine-level cache.
     """
 
     def __init__(
@@ -71,6 +77,7 @@ class BufferPool:
         self.nonnull = source.nonnull
         self.hits = 0
         self.misses = 0
+        self._lock = threading.Lock()
 
         if policy == "pinned":
             if assignment is None:
@@ -124,25 +131,39 @@ class BufferPool:
     ) -> BitVector:
         key = (component, slot)
         if self.policy == "pinned":
+            # The pinned map is read-only after preload; only the counters
+            # need the lock.
             bitmap = self._pinned.get(key)
             if bitmap is not None:
+                with self._lock:
+                    self.hits += 1
+                stats.buffer_hits += 1
+                return bitmap
+            with self._lock:
+                self.misses += 1
+            return self.source.fetch(component, slot, stats)
+
+        if self.capacity == 0:
+            # No caching: every fetch is a miss passed through to the source.
+            with self._lock:
+                self.misses += 1
+            return self.source.fetch(component, slot, stats)
+
+        with self._lock:
+            bitmap = self._lru.get(key)
+            if bitmap is not None:
+                self._lru.move_to_end(key)
                 self.hits += 1
                 stats.buffer_hits += 1
                 return bitmap
             self.misses += 1
-            return self.source.fetch(component, slot, stats)
-
-        bitmap = self._lru.get(key)
-        if bitmap is not None:
-            self._lru.move_to_end(key)
-            self.hits += 1
-            stats.buffer_hits += 1
-            return bitmap
-        self.misses += 1
+        # Fetch outside the lock so slow source reads don't serialize the
+        # pool; a racing double-fetch of the same key is harmless.
         bitmap = self.source.fetch(component, slot, stats)
-        if self.capacity > 0:
+        with self._lock:
             self._lru[key] = bitmap
-            if len(self._lru) > self.capacity:
+            self._lru.move_to_end(key)
+            while len(self._lru) > self.capacity:
                 self._lru.popitem(last=False)
         return bitmap
 

@@ -118,9 +118,51 @@ class TestLRUPolicy:
         pool.fetch(1, 0, stats)
         assert pool.hits == 0
 
+    def test_zero_capacity_is_pure_passthrough(self, index):
+        """Regression: capacity == 0 must mean 'no caching', not a 1-ish LRU.
+
+        Every fetch is a recorded miss served by the source, nothing is
+        ever stored, and results stay correct — the engine's shared cache
+        relies on these semantics to disable caching cleanly.
+        """
+        pool = BufferPool(index, capacity=0, policy="lru")
+        fetches = 0
+        for predicate in full_query_space(CARDINALITY):
+            stats = ExecutionStats()
+            got = evaluate(pool, predicate, stats=stats)
+            assert got == index.naive_eval(predicate.op, predicate.value)
+            assert stats.buffer_hits == 0
+            fetches += stats.scans
+        assert len(pool._lru) == 0
+        assert pool.hits == 0
+        assert pool.misses == fetches
+        assert pool.hit_rate == 0.0
+
     def test_capacity_required(self, index):
         with pytest.raises(BufferConfigError):
             BufferPool(index, policy="lru")
+
+    def test_concurrent_fetches_keep_counters_consistent(self, index):
+        """The LRU pool is shared by engine workers; counters must not race."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        pool = BufferPool(index, capacity=3, policy="lru")
+        slots = [(1, s) for s in index.stored_slots(1)]
+        slots += [(2, s) for s in index.stored_slots(2)]
+        per_thread = 50
+
+        def storm(seed: int) -> int:
+            stats = ExecutionStats()
+            for k in range(per_thread):
+                component, slot = slots[(seed + k) % len(slots)]
+                bitmap = pool.fetch(component, slot, stats)
+                assert bitmap == index.components[component - 1].bitmap(slot)
+            return per_thread
+
+        with ThreadPoolExecutor(max_workers=8) as executor:
+            total = sum(executor.map(storm, range(8)))
+        assert pool.hits + pool.misses == total
+        assert len(pool._lru) <= 3
 
     def test_repeated_workload_hits_grow(self, index):
         pool = BufferPool(index, capacity=20, policy="lru")

@@ -1,0 +1,141 @@
+"""Differential tests: every evaluator vs. a naive full scan.
+
+Sweeps randomized decompositions (1–3 components, uniform and perturbed
+non-uniform bases) crossed with the equality, range, and interval
+encodings, and asserts that ``evaluate()`` — RangeEval-Opt for range
+encoding, the equality/interval evaluators otherwise — agrees with a naive
+scan of the raw column for all six operators, including the boundary
+constants ``v = 0`` and ``v = C - 1`` and out-of-range codes the
+evaluators must short-circuit.  All randomness is seeded, so the sweep is
+deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.decomposition import Base, integer_nth_root_ceil
+from repro.core.encoding import EncodingScheme
+from repro.core.evaluation import (
+    OPERATORS,
+    Predicate,
+    evaluate,
+    range_eval,
+    range_eval_opt,
+)
+from repro.core.index import BitmapIndex
+
+NUM_ROWS = 400
+CARDINALITIES = [7, 24, 60]
+ENCODINGS = [EncodingScheme.EQUALITY, EncodingScheme.RANGE, EncodingScheme.INTERVAL]
+
+
+def random_base(cardinality: int, n: int, rng: np.random.Generator) -> Base:
+    """A random well-defined n-component base covering ``cardinality``."""
+    root = max(2, integer_nth_root_ceil(cardinality, n))
+    bases = [root] * n
+    # Perturb components while preserving coverage: grow one, then try to
+    # shrink another (keeping every b_i >= 2 and the product >= C).
+    for _ in range(4):
+        i = int(rng.integers(0, n))
+        bases[i] += int(rng.integers(0, 3))
+        j = int(rng.integers(0, n))
+        shrunk = bases.copy()
+        shrunk[j] = max(2, shrunk[j] - 1)
+        if int(np.prod(shrunk)) >= cardinality:
+            bases = shrunk
+    assert int(np.prod(bases)) >= cardinality
+    return Base(tuple(bases))
+
+
+def boundary_values(cardinality: int, rng: np.random.Generator) -> list[int]:
+    """Constants to probe: bounds, interior, and out-of-range on both sides."""
+    interior = sorted(
+        int(v) for v in rng.integers(1, max(2, cardinality - 1), size=3)
+    )
+    return [0, cardinality - 1, -1, -5, cardinality, cardinality + 3, *interior]
+
+
+def cases():
+    rng = np.random.default_rng(20260806)
+    for cardinality in CARDINALITIES:
+        for n in (1, 2, 3):
+            base = random_base(cardinality, n, rng)
+            seed = int(rng.integers(0, 2**31))
+            for encoding in ENCODINGS:
+                yield pytest.param(
+                    cardinality,
+                    base,
+                    encoding,
+                    seed,
+                    id=f"C{cardinality}-{base}-{encoding.value}",
+                )
+
+
+@pytest.mark.parametrize("cardinality,base,encoding,seed", list(cases()))
+def test_evaluate_matches_naive_scan(cardinality, base, encoding, seed):
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, cardinality, NUM_ROWS)
+    # Pin the boundary codes so v = 0 and v = C-1 actually select rows.
+    values[0], values[1] = 0, cardinality - 1
+    index = BitmapIndex(values, cardinality, base=base, encoding=encoding)
+    for op in OPERATORS:
+        for v in boundary_values(cardinality, rng):
+            predicate = Predicate(op, v)
+            got = evaluate(index, predicate)
+            expected = predicate.matches(values)
+            assert np.array_equal(got.to_bools(), expected), (
+                f"{encoding.value} base={base} failed on A {op} {v}"
+            )
+
+
+@pytest.mark.parametrize(
+    "cardinality,n", [(7, 1), (24, 2), (60, 2), (60, 3)]
+)
+def test_range_eval_and_opt_agree(cardinality, n):
+    """The baseline RangeEval and RangeEval-Opt are observationally equal."""
+    rng = np.random.default_rng(cardinality * 10 + n)
+    base = random_base(cardinality, n, rng)
+    values = rng.integers(0, cardinality, NUM_ROWS)
+    index = BitmapIndex(values, cardinality, base=base)
+    for op in OPERATORS:
+        for v in boundary_values(cardinality, rng):
+            predicate = Predicate(op, v)
+            assert range_eval(index, predicate) == range_eval_opt(index, predicate)
+
+
+@pytest.mark.parametrize("encoding", ENCODINGS)
+def test_nulls_masked_out(encoding):
+    """NULL rows never match any predicate, under every encoding."""
+    rng = np.random.default_rng(99)
+    cardinality = 24
+    values = rng.integers(0, cardinality, NUM_ROWS)
+    nulls = rng.random(NUM_ROWS) < 0.15
+    base = Base((5, 5))
+    index = BitmapIndex(values, cardinality, base=base, encoding=encoding, nulls=nulls)
+    for op in OPERATORS:
+        for v in (0, 3, cardinality - 1, -1, cardinality):
+            predicate = Predicate(op, v)
+            got = evaluate(index, predicate).to_bools()
+            expected = predicate.matches(values) & ~nulls
+            assert np.array_equal(got, expected), f"{encoding.value} A {op} {v}"
+
+
+@pytest.mark.parametrize("cardinality", CARDINALITIES)
+def test_skewed_distributions(cardinality):
+    """Differential check under heavy skew (near-constant columns)."""
+    rng = np.random.default_rng(cardinality)
+    # 90% of rows share one value; the rest are uniform.
+    hot = int(rng.integers(0, cardinality))
+    values = np.where(
+        rng.random(NUM_ROWS) < 0.9,
+        hot,
+        rng.integers(0, cardinality, NUM_ROWS),
+    )
+    for encoding in ENCODINGS:
+        index = BitmapIndex(values, cardinality, base=Base((4, 4, 4)), encoding=encoding)
+        for op in OPERATORS:
+            predicate = Predicate(op, hot)
+            got = evaluate(index, predicate)
+            assert np.array_equal(got.to_bools(), predicate.matches(values))

@@ -1,0 +1,206 @@
+"""Property-based randomized tests for :class:`BitVector`.
+
+Hypothesis-style properties driven by seeded numpy randomness (fixed
+seeds, so the suite is deterministic and needs no extra dependency): every
+logical operation is checked against Python's arbitrary-precision integer
+bitwise semantics, and every serialization surface round-trips — including
+lengths that are not multiples of 64, where the packed tail word must stay
+masked.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bitmaps.bitvector import BitVector
+from repro.errors import LengthMismatchError
+
+#: Lengths straddling word and byte boundaries (the tail-masking hot spots).
+LENGTHS = [1, 3, 7, 8, 9, 31, 32, 63, 64, 65, 100, 127, 128, 129, 191, 1000]
+SEEDS = [0, 1, 2]
+
+
+def random_vector(nbits: int, seed: int, density: float = 0.5) -> BitVector:
+    rng = np.random.default_rng(seed * 10_007 + nbits)
+    return BitVector.from_bools(rng.random(nbits) < density)
+
+
+def as_int(vec: BitVector) -> int:
+    """The vector as a Python big int (bit i of the int == bit i of the vector)."""
+    return int.from_bytes(vec.to_bytes(), "little")
+
+
+def full_mask(nbits: int) -> int:
+    return (1 << nbits) - 1
+
+
+# ----------------------------------------------------------------------
+# Logical operations vs. big-int semantics
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("nbits", LENGTHS)
+def test_and_or_xor_match_bigint(nbits, seed):
+    a = random_vector(nbits, seed)
+    b = random_vector(nbits, seed + 100)
+    ia, ib = as_int(a), as_int(b)
+    assert as_int(a & b) == ia & ib
+    assert as_int(a | b) == ia | ib
+    assert as_int(a ^ b) == ia ^ ib
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("nbits", LENGTHS)
+def test_not_and_andnot_match_bigint(nbits, seed):
+    a = random_vector(nbits, seed)
+    b = random_vector(nbits, seed + 100)
+    ia, ib = as_int(a), as_int(b)
+    # NOT must complement within [0, nbits) and keep the tail zero.
+    assert as_int(~a) == ia ^ full_mask(nbits)
+    assert as_int(a.andnot(b)) == ia & ~ib & full_mask(nbits)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("nbits", LENGTHS)
+def test_count_and_indices_match_bigint(nbits, seed):
+    a = random_vector(nbits, seed)
+    ia = as_int(a)
+    assert a.count() == ia.bit_count()
+    expected = [i for i in range(nbits) if (ia >> i) & 1]
+    assert a.indices().tolist() == expected
+    assert list(a.iter_indices()) == expected
+    assert a.any() == (ia != 0)
+    assert a.all() == (ia == full_mask(nbits))
+
+
+@pytest.mark.parametrize("nbits", LENGTHS)
+def test_de_morgan_and_double_complement(nbits):
+    a = random_vector(nbits, 7)
+    b = random_vector(nbits, 8)
+    assert ~(a & b) == (~a | ~b)
+    assert ~(a | b) == (~a & ~b)
+    assert ~~a == a
+    assert (a ^ b) == (a | b).andnot(a & b)
+
+
+@pytest.mark.parametrize("nbits", LENGTHS)
+def test_identities_with_zeros_and_ones(nbits):
+    a = random_vector(nbits, 3)
+    zeros, ones = BitVector.zeros(nbits), BitVector.ones(nbits)
+    assert (a & ones) == a
+    assert (a | zeros) == a
+    assert (a ^ a) == zeros
+    assert (a | ~a) == ones
+    assert ones.count() == nbits
+    assert zeros.count() == 0
+
+
+# ----------------------------------------------------------------------
+# Round-trips
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("nbits", LENGTHS)
+def test_bytes_roundtrip(nbits, seed):
+    a = random_vector(nbits, seed)
+    data = a.to_bytes()
+    assert len(data) == (nbits + 7) // 8 == a.nbytes
+    back = BitVector.from_bytes(data, nbits)
+    assert back == a
+    assert as_int(back) == as_int(a)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("nbits", LENGTHS)
+def test_bools_roundtrip(nbits, seed):
+    rng = np.random.default_rng(seed * 31 + nbits)
+    bools = rng.random(nbits) < 0.3
+    vec = BitVector.from_bools(bools)
+    assert np.array_equal(vec.to_bools(), bools)
+    assert vec.count() == int(bools.sum())
+    # And back again through bytes.
+    assert np.array_equal(
+        BitVector.from_bytes(vec.to_bytes(), nbits).to_bools(), bools
+    )
+
+
+@pytest.mark.parametrize("nbits", LENGTHS)
+def test_indices_roundtrip(nbits):
+    rng = np.random.default_rng(nbits)
+    k = int(rng.integers(0, nbits + 1))
+    indices = np.sort(rng.choice(nbits, size=k, replace=False))
+    vec = BitVector.from_indices(nbits, indices)
+    assert np.array_equal(vec.indices(), indices)
+    assert vec.count() == k
+
+
+@pytest.mark.parametrize("nbits", LENGTHS)
+def test_get_set_matches_bigint(nbits):
+    rng = np.random.default_rng(nbits + 99)
+    vec = BitVector.zeros(nbits)
+    model = 0
+    for _ in range(min(nbits, 64)):
+        i = int(rng.integers(0, nbits))
+        value = bool(rng.integers(0, 2))
+        vec.set(i, value)
+        model = model | (1 << i) if value else model & ~(1 << i)
+    assert as_int(vec) == model
+    for i in range(nbits):
+        assert vec.get(i) == bool((model >> i) & 1)
+        assert vec[i] == vec.get(i)
+
+
+# ----------------------------------------------------------------------
+# Tail masking and edge shapes
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("nbits", [n for n in LENGTHS if n % 64])
+def test_tail_word_stays_masked_after_not(nbits):
+    # A non-multiple-of-64 NOT would see garbage tail bits without masking.
+    vec = ~BitVector.zeros(nbits)
+    assert vec.count() == nbits
+    raw = np.frombuffer(vec.to_bytes(), dtype=np.uint8)
+    spare = 8 * len(raw) - nbits
+    if spare:
+        assert int(raw[-1]) >> (8 - spare) == 0
+
+
+def test_empty_vector():
+    vec = BitVector.zeros(0)
+    assert len(vec) == 0
+    assert vec.count() == 0
+    assert vec.to_bytes() == b""
+    assert BitVector.from_bytes(b"", 0) == vec
+    assert (~vec).count() == 0
+
+
+def test_copy_is_independent():
+    a = random_vector(130, 5)
+    b = a.copy()
+    assert a == b
+    b.set(0, not b.get(0))
+    assert a != b
+
+
+@pytest.mark.parametrize("nbits", [64, 65])
+def test_length_mismatch_rejected(nbits):
+    a = BitVector.zeros(nbits)
+    b = BitVector.zeros(nbits + 1)
+    with pytest.raises(LengthMismatchError):
+        _ = a & b
+
+
+def test_from_bytes_length_validated():
+    with pytest.raises(ValueError):
+        BitVector.from_bytes(b"\x00\x00", 100)
+
+
+def test_from_indices_out_of_range_rejected():
+    with pytest.raises(IndexError):
+        BitVector.from_indices(10, [10])
+    with pytest.raises(IndexError):
+        BitVector.from_indices(10, [-1])
