@@ -11,7 +11,7 @@ Run:  python examples/warehouse_compression.py
 
 from __future__ import annotations
 
-from repro import Predicate, evaluate
+from repro import evaluate
 from repro.core.optimize import knee_base
 from repro.query.executor import bitmap_index_for
 from repro.stats import ExecutionStats

@@ -8,22 +8,36 @@ bitmaps this makes an AND cost proportional to the number of *runs*
 rather than the number of bits — the property that made word-aligned
 codecs the standard for bitmap indexes after the paper.
 
-The two vector types interconvert losslessly; the ``ablation_compressed_ops``
-experiment quantifies when staying compressed wins.
+The class mirrors enough of the :class:`BitVector` surface — ``zeros`` /
+``ones`` constructors, ``count``, ``indices``, ``to_bools``, ``copy``,
+``nbytes`` — that the evaluation algorithms of
+:mod:`repro.core.evaluation` run unmodified over either representation;
+only the final ``indices()``/``to_bools()`` materialization decodes.
+The two vector types interconvert losslessly; the
+``ablation_compressed_ops`` experiment and ``bench_compressed_path``
+benchmark quantify when staying compressed wins.
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
+import numpy as np
+
 from repro.bitmaps.bitvector import BitVector
 from repro.bitmaps.wah import (
     wah_and,
+    wah_and_many,
     wah_decode,
     wah_encode,
     wah_not,
+    wah_ones,
     wah_or,
+    wah_or_many,
     wah_popcount,
     wah_word_count,
     wah_xor,
+    wah_zeros,
 )
 from repro.errors import LengthMismatchError
 
@@ -38,8 +52,18 @@ class WahBitVector:
         self._nbits = nbits
 
     # ------------------------------------------------------------------
-    # Conversion
+    # Construction / conversion
     # ------------------------------------------------------------------
+
+    @classmethod
+    def zeros(cls, nbits: int) -> "WahBitVector":
+        """The all-zero compressed vector of ``nbits`` bits (one fill run)."""
+        return cls(wah_zeros(nbits), nbits)
+
+    @classmethod
+    def ones(cls, nbits: int) -> "WahBitVector":
+        """The all-one compressed vector of ``nbits`` bits (at most 3 runs)."""
+        return cls(wah_ones(nbits), nbits)
 
     @classmethod
     def from_bitvector(cls, vector: BitVector) -> "WahBitVector":
@@ -50,6 +74,10 @@ class WahBitVector:
         """Materialize back to the uncompressed form."""
         return BitVector.from_bytes(wah_decode(self._blob), self._nbits)
 
+    def copy(self) -> "WahBitVector":
+        """An independent handle (payloads are immutable bytes)."""
+        return WahBitVector(self._blob, self._nbits)
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -59,8 +87,22 @@ class WahBitVector:
         return self._nbits
 
     @property
+    def blob(self) -> bytes:
+        """The raw WAH payload (header + words), as stored on disk."""
+        return self._blob
+
+    @property
     def compressed_bytes(self) -> int:
         """Size of the compressed payload."""
+        return len(self._blob)
+
+    @property
+    def nbytes(self) -> int:
+        """In-memory footprint in bytes (the compressed payload size).
+
+        Mirrors :attr:`BitVector.nbytes` so byte-budget caches can size
+        entries of either representation uniformly.
+        """
         return len(self._blob)
 
     @property
@@ -74,6 +116,14 @@ class WahBitVector:
 
     def any(self) -> bool:
         return self.count() > 0
+
+    def to_bools(self) -> np.ndarray:
+        """Decode to a boolean numpy array of length ``nbits``."""
+        return self.to_bitvector().to_bools()
+
+    def indices(self) -> np.ndarray:
+        """Sorted array of set-bit positions (decodes once)."""
+        return self.to_bitvector().indices()
 
     # ------------------------------------------------------------------
     # Compressed-domain algebra
@@ -104,6 +154,28 @@ class WahBitVector:
 
     def __invert__(self) -> "WahBitVector":
         return WahBitVector(wah_not(self._blob, self._nbits), self._nbits)
+
+    @classmethod
+    def or_many(cls, vectors: Sequence["WahBitVector"]) -> "WahBitVector":
+        """OR k vectors in one multi-way run merge (k-way aggregation).
+
+        Equivalent to folding ``|`` pairwise, but each payload is parsed
+        once and the merged run boundaries walked once, so wide ORs (the
+        ``digit < v`` side of equality-encoded evaluation) cost one pass
+        over the total runs instead of k - 1 intermediate payloads.
+        """
+        first = vectors[0]
+        for other in vectors[1:]:
+            first._check(other)
+        return cls(wah_or_many([v._blob for v in vectors]), first._nbits)
+
+    @classmethod
+    def and_many(cls, vectors: Sequence["WahBitVector"]) -> "WahBitVector":
+        """AND k vectors in one multi-way run merge (see :meth:`or_many`)."""
+        first = vectors[0]
+        for other in vectors[1:]:
+            first._check(other)
+        return cls(wah_and_many([v._blob for v in vectors]), first._nbits)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, WahBitVector):

@@ -20,6 +20,28 @@ bytes:
 
 The input bitstream is read little-endian within each byte and padded with
 zero bits up to a multiple of 31.
+
+A zero-length fill word (``0x80000000`` / ``0xC0000000``) contributes no
+groups; the encoder never emits one, but every consumer here — the decoder,
+the streaming :class:`_RunReader`, and the vectorized run-merge — accepts
+and skips it, so all access paths agree on which payloads are valid.  A
+body whose groups fall short of, or overrun, the 31-bit-padded declared
+length is rejected with :class:`~repro.errors.CorruptFileError` in both
+directions.
+
+Compressed-domain algebra
+-------------------------
+AND/OR/XOR/NOT and popcount run directly on the compressed form, run by
+run, without materializing the bitmap — the defining advantage of
+word-aligned codecs over deflate.  The binary and k-way operations are
+vectorized: each payload is parsed once into a run list ``(values,
+lengths)``, the run boundaries of all operands are merged in one sorted
+pass (the array form of Kaser & Lemire's heap-of-run-readers — the sorted
+union of boundary positions is exactly the order in which a heap of
+readers would surface them), the operator is applied to aligned run
+values with one numpy expression, and the result run list is re-encoded
+without ever expanding to individual bits.  Cost is proportional to the
+total number of *runs* across the operands, not the number of rows.
 """
 
 from __future__ import annotations
@@ -55,6 +77,11 @@ def _groups_from_bits(bits: np.ndarray) -> np.ndarray:
     return (padded.reshape(ngroups, _GROUP_BITS) * _POWERS).sum(
         axis=1, dtype=np.uint64
     ).astype(np.uint32)
+
+
+def _expected_groups(orig_len: int) -> int:
+    """Number of 31-bit groups a payload of ``orig_len`` bytes decodes to."""
+    return (orig_len * 8 + _GROUP_BITS - 1) // _GROUP_BITS
 
 
 def wah_encode(data: bytes) -> bytes:
@@ -97,8 +124,20 @@ def wah_encode(data: bytes) -> bytes:
     return _HEADER.pack(len(data)) + body
 
 
-def wah_decode(blob: bytes) -> bytes:
-    """Inverse of :func:`wah_encode`."""
+# ----------------------------------------------------------------------
+# Run-list parsing (shared by decode and the compressed-domain ops)
+# ----------------------------------------------------------------------
+
+
+def _parse_runs(blob: bytes) -> tuple[int, np.ndarray, np.ndarray]:
+    """Parse a payload into ``(orig_len, values, lengths)`` run arrays.
+
+    ``values`` are 31-bit group values (fills appear once with their run
+    length; literals have length 1); zero-length fill words are skipped.
+    The total group count is validated against the declared byte length in
+    both directions: too few groups and too many groups each raise
+    :class:`CorruptFileError`.
+    """
     if len(blob) < _HEADER.size:
         raise CorruptFileError("WAH payload shorter than its header")
     (orig_len,) = _HEADER.unpack_from(blob)
@@ -115,11 +154,28 @@ def wah_decode(blob: bytes) -> bytes:
         np.uint32(0),
     )
     values = np.where(is_fill, fill_values, words & np.uint32(_LITERAL_MASK))
-    groups = np.repeat(values, lengths) if len(words) else np.zeros(0, np.uint32)
+    nonzero = lengths > 0
+    if not nonzero.all():
+        values, lengths = values[nonzero], lengths[nonzero]
 
-    total_bits = len(groups) * _GROUP_BITS
-    if total_bits < orig_len * 8:
+    total = int(lengths.sum())
+    expected = _expected_groups(orig_len)
+    if total < expected:
         raise CorruptFileError("WAH payload decodes to fewer bits than declared")
+    if total > expected:
+        raise CorruptFileError(
+            "WAH payload decodes to more groups than the padded declared "
+            "length allows"
+        )
+    return orig_len, values, lengths
+
+
+def wah_decode(blob: bytes) -> bytes:
+    """Inverse of :func:`wah_encode`."""
+    orig_len, values, lengths = _parse_runs(blob)
+    groups = (
+        np.repeat(values, lengths) if len(values) else np.zeros(0, np.uint32)
+    )
     bits = (
         (groups[:, None] >> np.arange(_GROUP_BITS, dtype=np.uint32)) & np.uint32(1)
     ).astype(np.uint8)
@@ -135,15 +191,14 @@ def wah_word_count(blob: bytes) -> int:
 # ----------------------------------------------------------------------
 # Compressed-domain logical operations
 # ----------------------------------------------------------------------
-#
-# The defining advantage of word-aligned codecs over deflate: AND/OR/NOT
-# and popcount run directly on the compressed form, run-by-run, without
-# materializing the bitmap.  Cost is proportional to the number of runs,
-# not the number of bits.
 
 
 class _RunReader:
-    """Streams an encoded payload as (is_fill, value, groups) runs."""
+    """Streams an encoded payload as (is_fill, value, groups) runs.
+
+    Zero-length fill words are skipped during advancement, matching the
+    decoder: a payload :func:`wah_decode` accepts streams identically here.
+    """
 
     __slots__ = ("_words", "_pos", "is_fill", "value", "remaining", "orig_len")
 
@@ -162,19 +217,22 @@ class _RunReader:
         self._advance()
 
     def _advance(self) -> None:
-        if self._pos >= len(self._words):
-            self.remaining = 0
-            return
-        word = self._words[self._pos]
-        self._pos += 1
-        if word & _FILL_FLAG:
-            self.is_fill = True
-            self.value = _LITERAL_MASK if word & _FILL_VALUE_FLAG else 0
-            self.remaining = word & _MAX_RUN
-        else:
+        while self._pos < len(self._words):
+            word = self._words[self._pos]
+            self._pos += 1
+            if word & _FILL_FLAG:
+                run = word & _MAX_RUN
+                if run == 0:
+                    continue  # zero-length fill: no groups, keep scanning
+                self.is_fill = True
+                self.value = _LITERAL_MASK if word & _FILL_VALUE_FLAG else 0
+                self.remaining = run
+                return
             self.is_fill = False
             self.value = word & _LITERAL_MASK
             self.remaining = 1
+            return
+        self.remaining = 0
 
     def consume(self, groups: int) -> None:
         """Advance past ``groups`` groups of the current run."""
@@ -228,42 +286,144 @@ class _RunWriter:
         return _HEADER.pack(orig_len) + body
 
 
-def _binary_op(a: bytes, b: bytes, op) -> bytes:
-    reader_a = _RunReader(a)
-    reader_b = _RunReader(b)
-    if reader_a.orig_len != reader_b.orig_len:
-        raise CorruptFileError(
-            f"compressed operands differ in length: "
-            f"{reader_a.orig_len} vs {reader_b.orig_len} bytes"
+def _encode_runs(values: np.ndarray, lengths: np.ndarray, orig_len: int) -> bytes:
+    """Re-encode an aligned run list into a payload, fully vectorized.
+
+    ``values``/``lengths`` come out of the run-merge: any run of length
+    greater than 1 is a fill (its value is 0 or all-ones), so literal words
+    can be copied straight from ``values`` while fill stretches collapse to
+    single words.
+    """
+    n = len(values)
+    if n == 0:
+        return _HEADER.pack(orig_len)
+
+    # 0 = literal, 1 = zero fill, 2 = one fill (same classes as the encoder).
+    classes = np.zeros(n, dtype=np.uint8)
+    classes[values == 0] = 1
+    classes[values == _LITERAL_MASK] = 2
+    change = np.flatnonzero(np.diff(classes)) + 1
+    starts = np.concatenate(([0], change))
+    ends = np.concatenate((change, [n]))
+    stretch_cls = classes[starts]
+    stretch_sizes = ends - starts
+    fill_totals = np.add.reduceat(lengths, starts)
+
+    is_fill_stretch = stretch_cls != 0
+    fill_words_needed = np.where(
+        is_fill_stretch, (fill_totals + _MAX_RUN - 1) // _MAX_RUN, 0
+    )
+    out_counts = np.where(is_fill_stretch, fill_words_needed, stretch_sizes)
+    offsets = np.concatenate(([0], np.cumsum(out_counts)))
+    out = np.empty(offsets[-1], dtype=np.uint32)
+
+    fill_stretches = np.flatnonzero(is_fill_stretch)
+    simple = fill_stretches[fill_words_needed[fill_stretches] == 1]
+    if len(simple):
+        fill_word = np.where(
+            stretch_cls[simple] == 2,
+            np.uint32(_FILL_FLAG | _FILL_VALUE_FLAG),
+            np.uint32(_FILL_FLAG),
         )
-    writer = _RunWriter()
-    while not reader_a.exhausted and not reader_b.exhausted:
-        if reader_a.is_fill and reader_b.is_fill:
-            groups = min(reader_a.remaining, reader_b.remaining)
-            writer.emit(op(reader_a.value, reader_b.value) & _LITERAL_MASK, groups)
-        else:
-            groups = 1
-            writer.emit(op(reader_a.value, reader_b.value) & _LITERAL_MASK)
-        reader_a.consume(groups)
-        reader_b.consume(groups)
-    if not reader_a.exhausted or not reader_b.exhausted:
-        raise CorruptFileError("compressed operands differ in group count")
-    return writer.payload(reader_a.orig_len)
+        out[offsets[simple]] = fill_word | fill_totals[simple].astype(np.uint32)
+    for s in fill_stretches[fill_words_needed[fill_stretches] > 1].tolist():
+        # Runs longer than 2^30 - 1 groups (> 33 Gbit) need chunking.
+        fill_word = _FILL_FLAG | (_FILL_VALUE_FLAG if stretch_cls[s] == 2 else 0)
+        run = int(fill_totals[s])
+        pos = int(offsets[s])
+        while run > 0:
+            chunk = min(run, _MAX_RUN)
+            out[pos] = fill_word | chunk
+            pos += 1
+            run -= chunk
+
+    literal_runs = classes == 0
+    if literal_runs.any():
+        run_index = np.arange(n)
+        stretch_of = np.searchsorted(starts, run_index, side="right") - 1
+        dest = offsets[stretch_of] + (run_index - starts[stretch_of])
+        out[dest[literal_runs]] = values[literal_runs]
+
+    return _HEADER.pack(orig_len) + out.tobytes()
+
+
+def _merge_runs(
+    parsed: list[tuple[int, np.ndarray, np.ndarray]], op
+) -> bytes:
+    """Apply ``op`` across k parsed run lists via one sorted boundary merge.
+
+    The merged, deduplicated boundary array is the order a heap of run
+    readers would pop run endings in; every merged segment is covered by
+    exactly one run of each operand, located with one ``searchsorted`` per
+    operand, so the operator applies to aligned ``uint32`` run values in a
+    single vectorized expression.
+    """
+    orig_len = parsed[0][0]
+    ends = [np.cumsum(lengths) for _, _, lengths in parsed]
+    for other_len, _, _ in parsed[1:]:
+        if other_len != orig_len:
+            raise CorruptFileError(
+                f"compressed operands differ in length: "
+                f"{orig_len} vs {other_len} bytes"
+            )
+    # _parse_runs already pinned every operand to the same padded group
+    # count, so the final boundaries coincide by construction.
+    if len(parsed) == 1:
+        merged = ends[0]
+    else:
+        merged = np.concatenate(ends)
+        merged.sort()
+        if len(merged):
+            keep = np.empty(len(merged), dtype=bool)
+            keep[0] = True
+            np.not_equal(merged[1:], merged[:-1], out=keep[1:])
+            merged = merged[keep]
+    if len(merged) == 0:
+        return _HEADER.pack(orig_len)
+    acc = parsed[0][1][np.searchsorted(ends[0], merged, side="left")]
+    for (_, values, _), end in zip(parsed[1:], ends[1:]):
+        acc = op(acc, values[np.searchsorted(end, merged, side="left")])
+    lengths = np.diff(merged, prepend=0)
+    return _encode_runs(acc & np.uint32(_LITERAL_MASK), lengths, orig_len)
+
+
+def _binary_op(a: bytes, b: bytes, op) -> bytes:
+    return _merge_runs([_parse_runs(a), _parse_runs(b)], op)
 
 
 def wah_and(a: bytes, b: bytes) -> bytes:
     """AND two encoded payloads without decompressing."""
-    return _binary_op(a, b, lambda x, y: x & y)
+    return _binary_op(a, b, np.bitwise_and)
 
 
 def wah_or(a: bytes, b: bytes) -> bytes:
     """OR two encoded payloads without decompressing."""
-    return _binary_op(a, b, lambda x, y: x | y)
+    return _binary_op(a, b, np.bitwise_or)
 
 
 def wah_xor(a: bytes, b: bytes) -> bytes:
     """XOR two encoded payloads without decompressing."""
-    return _binary_op(a, b, lambda x, y: x ^ y)
+    return _binary_op(a, b, np.bitwise_xor)
+
+
+def wah_and_many(payloads: list[bytes]) -> bytes:
+    """AND k encoded payloads in one multi-way run merge.
+
+    Equivalent to folding :func:`wah_and` pairwise but parses each operand
+    once and walks the merged run boundaries once, so cost is proportional
+    to the total run count across all operands instead of re-materializing
+    k - 1 intermediate payloads.
+    """
+    if not payloads:
+        raise ValueError("wah_and_many needs at least one payload")
+    return _merge_runs([_parse_runs(p) for p in payloads], np.bitwise_and)
+
+
+def wah_or_many(payloads: list[bytes]) -> bytes:
+    """OR k encoded payloads in one multi-way run merge (see wah_and_many)."""
+    if not payloads:
+        raise ValueError("wah_or_many needs at least one payload")
+    return _merge_runs([_parse_runs(p) for p in payloads], np.bitwise_or)
 
 
 def wah_not(blob: bytes, nbits: int | None = None) -> bytes:
@@ -273,37 +433,55 @@ def wah_not(blob: bytes, nbits: int | None = None) -> bytes:
     it, complementing is exact to byte granularity (bits past the final
     byte stay zero either way).
     """
-    reader = _RunReader(blob)
-    writer = _RunWriter()
-    total_groups = 0
-    while not reader.exhausted:
-        if reader.is_fill:
-            groups = reader.remaining
-        else:
-            groups = 1
-        writer.emit((~reader.value) & _LITERAL_MASK, groups)
-        total_groups += groups
-        reader.consume(groups)
-    complemented = writer.payload(reader.orig_len)
-    # Mask padding back to zero: AND with the all-ones bitmap of the
-    # true length (cheap: it is one or two runs).
-    valid_bits = nbits if nbits is not None else reader.orig_len * 8
-    mask = _ones_payload(reader.orig_len, valid_bits, total_groups)
-    return wah_and(complemented, mask)
+    orig_len, values, lengths = _parse_runs(blob)
+    inverted = (values ^ np.uint32(_LITERAL_MASK), lengths)
+    # Mask padding back to zero by merging with the all-ones run list of
+    # the true length (cheap: it is at most three runs).
+    valid_bits = nbits if nbits is not None else orig_len * 8
+    total_groups = _expected_groups(orig_len)
+    mask_values, mask_lengths = _ones_runs(valid_bits, total_groups)
+    return _merge_runs(
+        [(orig_len, *inverted), (orig_len, mask_values, mask_lengths)],
+        np.bitwise_and,
+    )
 
 
-def _ones_payload(orig_len: int, valid_bits: int, total_groups: int) -> bytes:
-    """An encoded payload with the first ``valid_bits`` bits set."""
-    writer = _RunWriter()
+def _ones_runs(valid_bits: int, total_groups: int) -> tuple[np.ndarray, np.ndarray]:
+    """Run list with the first ``valid_bits`` bits set over ``total_groups``."""
     full, tail = divmod(valid_bits, _GROUP_BITS)
+    full = min(full, total_groups)
+    values, lengths = [], []
     if full:
-        writer.emit(_LITERAL_MASK, min(full, total_groups))
-    emitted = min(full, total_groups)
+        values.append(_LITERAL_MASK)
+        lengths.append(full)
+    emitted = full
     if tail and emitted < total_groups:
-        writer.emit((1 << tail) - 1)
+        values.append((1 << tail) - 1)
+        lengths.append(1)
         emitted += 1
     if emitted < total_groups:
-        writer.emit(0, total_groups - emitted)
+        values.append(0)
+        lengths.append(total_groups - emitted)
+    return np.asarray(values, dtype=np.uint32), np.asarray(lengths, dtype=np.int64)
+
+
+def wah_zeros(nbits: int) -> bytes:
+    """The encoded all-zero bitmap of ``nbits`` bits."""
+    orig_len = (nbits + 7) // 8
+    writer = _RunWriter()
+    total_groups = _expected_groups(orig_len)
+    if total_groups:
+        writer.emit(0, total_groups)
+    return writer.payload(orig_len)
+
+
+def wah_ones(nbits: int) -> bytes:
+    """The encoded bitmap with the first ``nbits`` bits set."""
+    orig_len = (nbits + 7) // 8
+    writer = _RunWriter()
+    values, lengths = _ones_runs(nbits, _expected_groups(orig_len))
+    for value, length in zip(values.tolist(), lengths.tolist()):
+        writer.emit(value, length)
     return writer.payload(orig_len)
 
 

@@ -24,7 +24,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.bitmaps.bitvector import BitVector
-from repro.core.decomposition import Base
 from repro.core.encoding import EncodingScheme
 from repro.core.index import BitmapIndex
 from repro.errors import ReproError, ValueOutOfRangeError

@@ -23,6 +23,14 @@ Every algorithm takes any object implementing the
 :class:`~repro.stats.ExecutionStats` to which it charges bitmap scans
 (via ``source.fetch``) and logical operations.
 
+The algorithms are generic over the bitmap algebra: a source whose
+``compressed`` attribute is true serves
+:class:`~repro.bitmaps.compressed.WahBitVector` operands and the same
+code paths run entirely in the compressed domain, producing bit-identical
+results with identical operation counts (the virtual all-zero/all-one
+bitmaps are synthesized in the source's representation via
+:func:`_zeros`/:func:`_ones`).
+
 Conventions shared with the paper's cost model:
 
 - Reads of the non-null bitmap ``B_nn`` are not charged as scans.
@@ -40,10 +48,15 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.bitmaps.bitvector import BitVector
+from repro.bitmaps.compressed import WahBitVector
 from repro.core.encoding import EncodingScheme
 from repro.core.index import BitmapSource
 from repro.errors import InvalidPredicateError
 from repro.stats import ExecutionStats
+
+#: Either bitmap representation; the algorithms below accept and return
+#: whichever one the source serves.
+Bitmap = BitVector | WahBitVector
 
 #: The six comparison operators of the paper's query class.
 OPERATORS = ("<", "<=", "=", "!=", ">=", ">")
@@ -96,36 +109,70 @@ class Predicate:
 # ----------------------------------------------------------------------
 
 
-def _and(a: BitVector, b: BitVector, stats: ExecutionStats) -> BitVector:
+def _and(a: Bitmap, b: Bitmap, stats: ExecutionStats) -> Bitmap:
     stats.ands += 1
     return a & b
 
 
-def _or(a: BitVector, b: BitVector, stats: ExecutionStats) -> BitVector:
+def _or(a: Bitmap, b: Bitmap, stats: ExecutionStats) -> Bitmap:
     stats.ors += 1
     return a | b
 
 
-def _xor(a: BitVector, b: BitVector, stats: ExecutionStats) -> BitVector:
+def _xor(a: Bitmap, b: Bitmap, stats: ExecutionStats) -> Bitmap:
     stats.xors += 1
     return a ^ b
 
 
-def _not(a: BitVector, stats: ExecutionStats) -> BitVector:
+def _not(a: Bitmap, stats: ExecutionStats) -> Bitmap:
     stats.nots += 1
     return ~a
 
 
-def _all_rows(source: BitmapSource, stats: ExecutionStats) -> BitVector:
-    """The `everything` result: all rows, masked by ``B_nn`` when present."""
-    if source.nonnull is not None:
-        return source.nonnull.copy()
+def _or_all(vectors: list, stats: ExecutionStats) -> Bitmap:
+    """OR a non-empty list of bitmaps, charging ``len - 1`` operations.
+
+    Compressed operands go through the k-way :meth:`WahBitVector.or_many`
+    run merge (one pass over the total runs instead of ``k - 1``
+    intermediate payloads); dense operands fold pairwise.  Either way the
+    charged operation count is identical, so dense and compressed
+    executions report the same :class:`ExecutionStats`.
+    """
+    if len(vectors) == 1:
+        return vectors[0]
+    stats.ors += len(vectors) - 1
+    if all(isinstance(v, WahBitVector) for v in vectors):
+        return WahBitVector.or_many(vectors)
+    acc = vectors[0]
+    for v in vectors[1:]:
+        acc = acc | v
+    return acc
+
+
+def _zeros(source: BitmapSource) -> Bitmap:
+    """A virtual all-zero bitmap in the source's representation."""
+    if getattr(source, "compressed", False):
+        return WahBitVector.zeros(source.nbits)
+    return BitVector.zeros(source.nbits)
+
+
+def _ones(source: BitmapSource) -> Bitmap:
+    """A virtual all-one bitmap in the source's representation."""
+    if getattr(source, "compressed", False):
+        return WahBitVector.ones(source.nbits)
     return BitVector.ones(source.nbits)
 
 
+def _all_rows(source: BitmapSource, stats: ExecutionStats) -> Bitmap:
+    """The `everything` result: all rows, masked by ``B_nn`` when present."""
+    if source.nonnull is not None:
+        return source.nonnull.copy()
+    return _ones(source)
+
+
 def _mask_nn(
-    result: BitVector, source: BitmapSource, stats: ExecutionStats
-) -> BitVector:
+    result: Bitmap, source: BitmapSource, stats: ExecutionStats
+) -> Bitmap:
     """AND the result with ``B_nn`` when the index tracks nulls."""
     if source.nonnull is not None:
         return _and(result, source.nonnull, stats)
@@ -134,18 +181,18 @@ def _mask_nn(
 
 def _clamp_trivial(
     source: BitmapSource, predicate: Predicate, stats: ExecutionStats
-) -> BitVector | None:
+) -> Bitmap | None:
     """Short-circuit predicates whose constant lies outside ``[0, C)``."""
     c = source.cardinality
     v, op = predicate.value, predicate.op
     if v < 0:
         if op in ("<", "<=", "="):
-            return BitVector.zeros(source.nbits)
+            return _zeros(source)
         return _all_rows(source, stats)
     if v >= c:
         if op in ("<", "<=", "!="):
             return _all_rows(source, stats)
-        return BitVector.zeros(source.nbits)
+        return _zeros(source)
     return None
 
 
@@ -158,7 +205,7 @@ def range_eval_opt(
     source: BitmapSource,
     predicate: Predicate,
     stats: ExecutionStats | None = None,
-) -> BitVector:
+) -> Bitmap:
     """Evaluate a predicate on a *range-encoded* index with RangeEval-Opt.
 
     Returns the result bitmap; scans/ops are recorded on ``stats``.
@@ -176,14 +223,14 @@ def range_eval_opt(
 
     if predicate.is_range:
         if v < 0:
-            result = BitVector.zeros(source.nbits)
+            result = _zeros(source)
             if complement:
                 result = _all_rows(source, stats)
             return result
         if v >= source.cardinality - 1:
             # A <= v is everything (within the domain).
             if complement:
-                return BitVector.zeros(source.nbits)
+                return _zeros(source)
             return _all_rows(source, stats)
         result = _le_bitmap_opt(source, v, stats)
     else:
@@ -196,7 +243,7 @@ def range_eval_opt(
 
 def _le_bitmap_opt(
     source: BitmapSource, v: int, stats: ExecutionStats
-) -> BitVector:
+) -> Bitmap:
     """``A <= v`` via RangeEval-Opt's single-accumulator loop (0 <= v < C-1)."""
     base = source.base
     digits = base.digits(v)
@@ -204,7 +251,7 @@ def _le_bitmap_opt(
     if digits[0] < b1 - 1:
         acc = source.fetch(1, digits[0], stats)
     else:
-        acc = BitVector.ones(source.nbits)  # virtual B_1^{b_1 - 1}
+        acc = _ones(source)  # virtual B_1^{b_1 - 1}
     for i in range(2, base.n + 1):
         vi = digits[i - 1]
         bi = base.component(i)
@@ -217,11 +264,11 @@ def _le_bitmap_opt(
 
 def _eq_bitmap_range_encoded(
     source: BitmapSource, v: int, stats: ExecutionStats
-) -> BitVector:
+) -> Bitmap:
     """``A = v`` on a range-encoded index (shared by both algorithms)."""
     base = source.base
     digits = base.digits(v)
-    acc: BitVector | None = None
+    acc: Bitmap | None = None
     for i in range(1, base.n + 1):
         vi = digits[i - 1]
         bi = base.component(i)
@@ -249,7 +296,7 @@ def range_eval(
     source: BitmapSource,
     predicate: Predicate,
     stats: ExecutionStats | None = None,
-) -> BitVector:
+) -> Bitmap:
     """Evaluate a predicate on a *range-encoded* index with RangeEval.
 
     Maintains ``B_EQ`` plus ``B_LT`` or ``B_GT`` across components.  Only
@@ -271,17 +318,17 @@ def range_eval(
     base = source.base
     digits = base.digits(v)
 
-    cache: dict[tuple[int, int], BitVector] = {}
+    cache: dict[tuple[int, int], Bitmap] = {}
 
-    def fetch(i: int, slot: int) -> BitVector:
+    def fetch(i: int, slot: int) -> Bitmap:
         key = (i, slot)
         if key not in cache:
             cache[key] = source.fetch(i, slot, stats)
         return cache[key]
 
     b_eq = _all_rows(source, stats)
-    b_lt = BitVector.zeros(source.nbits)
-    b_gt = BitVector.zeros(source.nbits)
+    b_lt = _zeros(source)
+    b_gt = _zeros(source)
 
     for i in range(base.n, 0, -1):
         vi = digits[i - 1]
@@ -330,7 +377,7 @@ def equality_eval(
     source: BitmapSource,
     predicate: Predicate,
     stats: ExecutionStats | None = None,
-) -> BitVector:
+) -> Bitmap:
     """Evaluate a predicate on an *equality-encoded* index.
 
     Equality predicates cost one scan per component.  Range predicates are
@@ -355,11 +402,11 @@ def equality_eval(
     if predicate.is_range:
         if v < 0:
             return (
-                _all_rows(source, stats) if complement else BitVector.zeros(source.nbits)
+                _all_rows(source, stats) if complement else _zeros(source)
             )
         if v >= source.cardinality - 1:
             return (
-                BitVector.zeros(source.nbits) if complement else _all_rows(source, stats)
+                _zeros(source) if complement else _all_rows(source, stats)
             )
         result = _le_bitmap_equality(source, v, stats)
     else:
@@ -372,7 +419,7 @@ def equality_eval(
 
 def _fetch_eq(
     source: BitmapSource, i: int, j: int, stats: ExecutionStats
-) -> BitVector:
+) -> Bitmap:
     """``digit_i == j`` on an equality-encoded component (complement trick)."""
     bi = source.base.component(i)
     if bi == 2 and j == 0:
@@ -382,10 +429,10 @@ def _fetch_eq(
 
 def _eq_bitmap_equality(
     source: BitmapSource, v: int, stats: ExecutionStats
-) -> BitVector:
+) -> Bitmap:
     base = source.base
     digits = base.digits(v)
-    acc: BitVector | None = None
+    acc: Bitmap | None = None
     for i in range(1, base.n + 1):
         term = _fetch_eq(source, i, digits[i - 1], stats)
         acc = term if acc is None else _and(acc, term, stats)
@@ -398,19 +445,20 @@ def _or_slots(
     i: int,
     slots: range,
     stats: ExecutionStats,
-) -> BitVector:
-    """OR together the stored bitmaps of ``slots`` (must be non-empty)."""
-    acc: BitVector | None = None
-    for j in slots:
-        bmp = source.fetch(i, j, stats)
-        acc = bmp if acc is None else _or(acc, bmp, stats)
-    assert acc is not None
-    return acc
+) -> Bitmap:
+    """OR together the stored bitmaps of ``slots`` (must be non-empty).
+
+    On a compressed source the whole set is aggregated in one k-way run
+    merge (:func:`_or_all`); the charged operation count matches the
+    pairwise dense fold.
+    """
+    assert len(slots) > 0
+    return _or_all([source.fetch(i, j, stats) for j in slots], stats)
 
 
 def _le_bitmap_equality(
     source: BitmapSource, v: int, stats: ExecutionStats
-) -> BitVector:
+) -> Bitmap:
     """``A <= v`` on an equality-encoded index (0 <= v < C-1)."""
     base = source.base
     digits = base.digits(v)
@@ -419,7 +467,7 @@ def _le_bitmap_equality(
     b1 = base.component(1)
     v1 = digits[0]
     if v1 == b1 - 1:
-        acc = BitVector.ones(source.nbits)
+        acc = _ones(source)
     elif b1 == 2:
         # v1 == 0: digit <= 0 is digit == 0 = NOT stored-slot-1.
         acc = _fetch_eq(source, 1, 0, stats)
@@ -453,9 +501,10 @@ def _le_bitmap_equality(
             # Complement side: GE from slots [vi, bi); the slot-vi scan is
             # reused as EQ, saving one read.
             eq = source.fetch(i, vi, stats)
-            ge = eq
-            for j in range(vi + 1, bi):
-                ge = _or(ge, source.fetch(i, j, stats), stats)
+            ge = _or_all(
+                [eq] + [source.fetch(i, j, stats) for j in range(vi + 1, bi)],
+                stats,
+            )
             lt = _not(ge, stats)
             acc = _or(lt, _and(eq, acc, stats), stats)
     return acc
@@ -470,7 +519,7 @@ def interval_eval(
     source: BitmapSource,
     predicate: Predicate,
     stats: ExecutionStats | None = None,
-) -> BitVector:
+) -> Bitmap:
     """Evaluate a predicate on an *interval-encoded* index.
 
     With window length ``m = ceil(b_i / 2)``, every per-digit predicate is
@@ -499,11 +548,11 @@ def interval_eval(
     if predicate.is_range:
         if v < 0:
             return (
-                _all_rows(source, stats) if complement else BitVector.zeros(source.nbits)
+                _all_rows(source, stats) if complement else _zeros(source)
             )
         if v >= source.cardinality - 1:
             return (
-                BitVector.zeros(source.nbits) if complement else _all_rows(source, stats)
+                _zeros(source) if complement else _all_rows(source, stats)
             )
         result = _le_bitmap_interval(source, v, stats)
     else:
@@ -521,9 +570,9 @@ class _ComponentFetcher:
         self._source = source
         self._component = component
         self._stats = stats
-        self._cache: dict[int, BitVector] = {}
+        self._cache: dict[int, Bitmap] = {}
 
-    def __call__(self, slot: int) -> BitVector:
+    def __call__(self, slot: int) -> Bitmap:
         if slot not in self._cache:
             self._cache[slot] = self._source.fetch(
                 self._component, slot, self._stats
@@ -533,7 +582,7 @@ class _ComponentFetcher:
 
 def _interval_le(
     b: int, v: int, fetch: _ComponentFetcher, stats: ExecutionStats
-) -> BitVector | None:
+) -> Bitmap | None:
     """``digit <= v`` on one interval-encoded component (None = all rows)."""
     m = (b + 1) // 2
     if v >= b - 1:
@@ -547,7 +596,7 @@ def _interval_le(
 
 def _interval_eq(
     b: int, v: int, fetch: _ComponentFetcher, stats: ExecutionStats
-) -> BitVector:
+) -> Bitmap:
     """``digit = v`` on one interval-encoded component."""
     m = (b + 1) // 2
     if m == 1:  # b == 2: I^0 marks digit 0
@@ -566,10 +615,10 @@ def _interval_eq(
 
 def _eq_bitmap_interval(
     source: BitmapSource, v: int, stats: ExecutionStats
-) -> BitVector:
+) -> Bitmap:
     base = source.base
     digits = base.digits(v)
-    acc: BitVector | None = None
+    acc: Bitmap | None = None
     for i in range(1, base.n + 1):
         fetch = _ComponentFetcher(source, i, stats)
         term = _interval_eq(base.component(i), digits[i - 1], fetch, stats)
@@ -580,14 +629,14 @@ def _eq_bitmap_interval(
 
 def _le_bitmap_interval(
     source: BitmapSource, v: int, stats: ExecutionStats
-) -> BitVector:
+) -> Bitmap:
     """``A <= v`` on an interval-encoded index (0 <= v < C-1)."""
     base = source.base
     digits = base.digits(v)
 
     fetch = _ComponentFetcher(source, 1, stats)
     le = _interval_le(base.component(1), digits[0], fetch, stats)
-    acc = le if le is not None else BitVector.ones(source.nbits)
+    acc = le if le is not None else _ones(source)
 
     for i in range(2, base.n + 1):
         vi = digits[i - 1]
@@ -620,7 +669,7 @@ def evaluate(
     predicate: Predicate,
     algorithm: str = "auto",
     stats: ExecutionStats | None = None,
-) -> BitVector:
+) -> Bitmap:
     """Evaluate ``predicate`` over ``source`` with the named algorithm.
 
     ``algorithm='auto'`` picks the paper's recommendation: RangeEval-Opt

@@ -22,6 +22,7 @@ from typing import Protocol, runtime_checkable
 import numpy as np
 
 from repro.bitmaps.bitvector import BitVector
+from repro.bitmaps.compressed import WahBitVector
 from repro.core.decomposition import Base
 from repro.core.encoding import (
     EncodingScheme,
@@ -39,17 +40,25 @@ class BitmapSource(Protocol):
     Implemented by :class:`BitmapIndex` (in memory), the storage schemes of
     :mod:`repro.storage.schemes` (simulated disk), and the buffer pool of
     :mod:`repro.storage.buffer`.
+
+    A source whose ``compressed`` attribute is true serves
+    :class:`~repro.bitmaps.compressed.WahBitVector` bitmaps (including
+    ``nonnull``) instead of dense :class:`BitVector` ones; the evaluation
+    algorithms are generic over the two algebras and synthesize their
+    virtual all-zero/all-one bitmaps in whichever representation the
+    source declares.
     """
 
     nbits: int
     cardinality: int
     base: Base
     encoding: EncodingScheme
-    nonnull: BitVector | None
+    nonnull: BitVector | WahBitVector | None
+    compressed: bool
 
     def fetch(
         self, component: int, slot: int, stats: ExecutionStats
-    ) -> BitVector:
+    ) -> BitVector | WahBitVector:
         """Read stored bitmap ``slot`` of ``component`` (1-based), recording a scan."""
         ...
 
@@ -128,6 +137,9 @@ class BitmapIndex:
         ]
         self._values = values.copy() if keep_values else None
         self._nulls = nulls.copy() if nulls is not None else None
+        # Lazily encoded WAH payloads for the compressed execution mode,
+        # keyed by (component, slot); invalidated by maintenance.
+        self._wah_bitmaps: dict[tuple[int, int], WahBitVector] = {}
 
     # ------------------------------------------------------------------
     # Construction from arbitrary (non-consecutive) values
@@ -190,14 +202,48 @@ class BitmapIndex:
     # Bitmap source protocol
     # ------------------------------------------------------------------
 
+    #: In-memory indexes serve dense bitmaps by default; wrap with
+    #: :meth:`as_compressed` for the compressed-domain execution mode.
+    compressed = False
+
     def fetch(
-        self, component: int, slot: int, stats: ExecutionStats
-    ) -> BitVector:
-        """Return stored bitmap ``slot`` of ``component``, recording one scan."""
+        self,
+        component: int,
+        slot: int,
+        stats: ExecutionStats,
+        compressed: bool = False,
+    ) -> BitVector | WahBitVector:
+        """Return stored bitmap ``slot`` of ``component``, recording one scan.
+
+        With ``compressed=True`` the bitmap is served as a
+        :class:`WahBitVector` (encoded lazily on first access and memoized),
+        and the scan is charged at the compressed payload size — the bytes a
+        WAH-coded storage layer would actually move.
+        """
+        if compressed:
+            key = (component, slot)
+            bitmap = self._wah_bitmaps.get(key)
+            if bitmap is None:
+                bitmap = WahBitVector.from_bitvector(
+                    self.components[component - 1].bitmap(slot)
+                )
+                self._wah_bitmaps[key] = bitmap
+            stats.record_scan(nbytes=bitmap.nbytes)
+            return bitmap
         comp = self.components[component - 1]
         bitmap = comp.bitmap(slot)
         stats.record_scan(nbytes=bitmap.nbytes)
         return bitmap
+
+    def as_compressed(self) -> "CompressedBitmapSource":
+        """A :class:`BitmapSource` view serving WAH-compressed bitmaps.
+
+        The view shares this index's storage; encoded payloads are built
+        lazily per slot and memoized on the index, so repeated queries pay
+        the encode cost once.  Maintenance operations (:meth:`append`,
+        :meth:`update`, :meth:`delete`) invalidate the memo.
+        """
+        return CompressedBitmapSource(self)
 
     def stored_slots(self, component: int) -> tuple[int, ...]:
         """Stored digit slots of a component (1-based component number)."""
@@ -273,6 +319,7 @@ class BitmapIndex:
             encode_values.min() < 0 or encode_values.max() >= self.cardinality
         ):
             raise ValueOutOfRangeError(f"values outside [0, {self.cardinality})")
+        self._wah_bitmaps.clear()
 
         if nulls is not None and self.nonnull is None:
             # Start tracking nulls: existing rows are all valid.
@@ -306,6 +353,7 @@ class BitmapIndex:
             raise ValueOutOfRangeError(f"value outside [0, {self.cardinality})")
         digits = self.base.digits(value)
         touched = 0
+        self._wah_bitmaps.clear()
         for i, component in enumerate(self.components):
             touched += component.set_row(rid, digits[i])
         if self.nonnull is not None and not self.nonnull.get(rid):
@@ -325,6 +373,7 @@ class BitmapIndex:
         """
         self._check_rid(rid)
         touched = 0
+        self._wah_bitmaps.clear()
         if self.nonnull is None:
             self.nonnull = BitVector.ones(self.nbits)
             self._nulls = np.zeros(self.nbits, dtype=bool)
@@ -377,3 +426,62 @@ class BitmapIndex:
             f"base={self.base}, encoding={self.encoding}, "
             f"bitmaps={self.num_bitmaps})"
         )
+
+
+class CompressedBitmapSource:
+    """A compressed :class:`BitmapSource` view over a :class:`BitmapIndex`.
+
+    Serves every bitmap (stored slots and ``nonnull``) as a
+    :class:`~repro.bitmaps.compressed.WahBitVector`, so the evaluation
+    algorithms run entirely in the compressed domain.  Encoded payloads
+    live in the wrapped index's memo and survive across queries; the view
+    itself is a thin stateless adapter, cheap to construct per query.
+    """
+
+    compressed = True
+
+    #: Memo key for the encoded existence bitmap.  Stored slots use
+    #: 1-based component numbers, so component 0 can never collide.
+    _NONNULL_KEY = (0, 0)
+
+    def __init__(self, index: BitmapIndex):
+        self._index = index
+
+    @property
+    def nbits(self) -> int:
+        return self._index.nbits
+
+    @property
+    def cardinality(self) -> int:
+        return self._index.cardinality
+
+    @property
+    def base(self) -> Base:
+        return self._index.base
+
+    @property
+    def encoding(self) -> EncodingScheme:
+        return self._index.encoding
+
+    @property
+    def nonnull(self) -> WahBitVector | None:
+        dense = self._index.nonnull
+        if dense is None:
+            return None
+        memo = self._index._wah_bitmaps
+        cached = memo.get(self._NONNULL_KEY)
+        if cached is None:
+            cached = WahBitVector.from_bitvector(dense)
+            memo[self._NONNULL_KEY] = cached
+        return cached
+
+    def fetch(
+        self, component: int, slot: int, stats: ExecutionStats
+    ) -> WahBitVector:
+        return self._index.fetch(component, slot, stats, compressed=True)
+
+    def stored_slots(self, component: int) -> tuple[int, ...]:
+        return self._index.stored_slots(component)
+
+    def __repr__(self) -> str:
+        return f"CompressedBitmapSource({self._index!r})"

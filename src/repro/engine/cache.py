@@ -7,14 +7,24 @@ hot bitmaps compete for the same ``capacity`` slots regardless of which
 relation or attribute they belong to.  Keys are opaque hashable tuples
 (the engine uses ``(relation, attribute, component, slot)``).
 
+Capacity is two-dimensional: an entry-count limit (``capacity``) and an
+optional **byte budget** (``byte_budget``).  The byte budget exists for
+the compressed execution mode — a cached
+:class:`~repro.bitmaps.compressed.WahBitVector` is often 10–1000x smaller
+than the dense bitmap of the same column, so an entry-count LRU wildly
+misstates the memory a mixed cache actually holds.  Entries are sized
+uniformly via their ``nbytes`` attribute (both bitmap representations
+expose it) and evicted in LRU order until both limits are satisfied.
+
 Concurrency contract
 --------------------
-All bookkeeping (the LRU order, the hit/miss/eviction counters) mutates
-under one internal lock, so any number of worker threads may ``get`` and
-``put`` concurrently.  Loading a missed bitmap is deliberately *not* done
-under the lock — two threads racing on the same cold key may both load it,
-which is harmless (the second ``put`` wins) and keeps slow fetches from
-serializing the whole engine.  The invariant tests rely on is::
+All bookkeeping (the LRU order, the byte accounting, the
+hit/miss/eviction counters) mutates under one internal lock, so any
+number of worker threads may ``get`` and ``put`` concurrently.  Loading a
+missed bitmap is deliberately *not* done under the lock — two threads
+racing on the same cold key may both load it, which is harmless (the
+second ``put`` wins) and keeps slow fetches from serializing the whole
+engine.  The invariant tests rely on is::
 
     hits + misses == number of get() calls
 
@@ -29,7 +39,6 @@ import threading
 from collections import OrderedDict
 from collections.abc import Hashable
 
-from repro.bitmaps.bitvector import BitVector
 from repro.errors import BufferConfigError
 
 
@@ -40,22 +49,37 @@ class SharedBitmapCache:
     ----------
     capacity:
         Maximum number of cached bitmaps.  ``0`` disables caching (every
-        lookup misses, nothing is ever stored).
+        lookup misses, nothing is ever stored); ``None`` leaves the entry
+        count unlimited (use with a ``byte_budget``).
+    byte_budget:
+        Optional maximum total ``nbytes`` across cached entries.  Evicts
+        LRU-first until the budget holds.  An entry larger than the whole
+        budget is not cached at all.
     """
 
-    def __init__(self, capacity: int):
-        if capacity < 0:
+    def __init__(self, capacity: int | None, byte_budget: int | None = None):
+        if capacity is not None and capacity < 0:
             raise BufferConfigError(f"cache capacity must be >= 0, got {capacity}")
+        if byte_budget is not None and byte_budget <= 0:
+            raise BufferConfigError(
+                f"byte_budget must be > 0 (or None for unlimited), got {byte_budget}"
+            )
+        if capacity is None and byte_budget is None:
+            raise BufferConfigError(
+                "an unbounded cache needs a capacity or a byte_budget"
+            )
         self.capacity = capacity
+        self.byte_budget = byte_budget
         self._lock = threading.Lock()
-        self._entries: OrderedDict[Hashable, BitVector] = OrderedDict()
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self.bytes_cached = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     # ------------------------------------------------------------------
 
-    def get(self, key: Hashable) -> BitVector | None:
+    def get(self, key: Hashable):
         """Return the cached bitmap for ``key``, or ``None`` on a miss."""
         with self._lock:
             bitmap = self._entries.get(key)
@@ -66,21 +90,36 @@ class SharedBitmapCache:
             self.misses += 1
             return None
 
-    def put(self, key: Hashable, bitmap: BitVector) -> None:
-        """Insert (or refresh) a bitmap, evicting the LRU entry if full."""
+    def put(self, key: Hashable, bitmap) -> None:
+        """Insert (or refresh) a bitmap, evicting LRU entries while either
+        the entry-count or byte limit is exceeded."""
         if self.capacity == 0:
             return
+        size = bitmap.nbytes
+        if self.byte_budget is not None and size > self.byte_budget:
+            return  # would evict the whole cache and still not fit
         with self._lock:
+            old = self._entries.get(key)
+            if old is not None:
+                self.bytes_cached -= old.nbytes
             self._entries[key] = bitmap
             self._entries.move_to_end(key)
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+            self.bytes_cached += size
+            while self._entries and self._over_limit():
+                _, evicted = self._entries.popitem(last=False)
+                self.bytes_cached -= evicted.nbytes
                 self.evictions += 1
+
+    def _over_limit(self) -> bool:
+        if self.capacity is not None and len(self._entries) > self.capacity:
+            return True
+        return self.byte_budget is not None and self.bytes_cached > self.byte_budget
 
     def clear(self) -> None:
         """Drop every cached bitmap and reset the counters."""
         with self._lock:
             self._entries.clear()
+            self.bytes_cached = 0
             self.hits = 0
             self.misses = 0
             self.evictions = 0
@@ -113,7 +152,9 @@ class SharedBitmapCache:
             total = hits + misses
             return {
                 "capacity": self.capacity,
+                "byte_budget": self.byte_budget,
                 "size": len(self._entries),
+                "bytes_cached": self.bytes_cached,
                 "hits": hits,
                 "misses": misses,
                 "evictions": self.evictions,
@@ -122,6 +163,8 @@ class SharedBitmapCache:
 
     def __repr__(self) -> str:
         return (
-            f"SharedBitmapCache(capacity={self.capacity}, size={len(self)}, "
-            f"hits={self.hits}, misses={self.misses})"
+            f"SharedBitmapCache(capacity={self.capacity}, "
+            f"byte_budget={self.byte_budget}, size={len(self)}, "
+            f"bytes={self.bytes_cached}, hits={self.hits}, "
+            f"misses={self.misses})"
         )

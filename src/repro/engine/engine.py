@@ -72,7 +72,7 @@ class _CachedSource:
     publishes the bitmap to the shared cache.
     """
 
-    __slots__ = ("_index", "_cache", "_prefix", "_sleep")
+    __slots__ = ("_index", "_cache", "_prefix", "_sleep", "compressed")
 
     def __init__(
         self,
@@ -80,11 +80,13 @@ class _CachedSource:
         cache: SharedBitmapCache,
         prefix: tuple,
         sleep_seconds_per_byte: tuple[float, float] | None,
+        compressed: bool = False,
     ):
         self._index = index
         self._cache = cache
         self._prefix = prefix
         self._sleep = sleep_seconds_per_byte
+        self.compressed = compressed
 
     @property
     def nbits(self) -> int:
@@ -104,6 +106,8 @@ class _CachedSource:
 
     @property
     def nonnull(self):
+        if self.compressed:
+            return self._index.as_compressed().nonnull
         return self._index.nonnull
 
     def fetch(self, component: int, slot: int, stats: ExecutionStats):
@@ -112,7 +116,9 @@ class _CachedSource:
         if bitmap is not None:
             stats.buffer_hits += 1
             return bitmap
-        bitmap = self._index.fetch(component, slot, stats)
+        bitmap = self._index.fetch(
+            component, slot, stats, compressed=self.compressed
+        )
         if self._sleep is not None:
             seek, per_byte = self._sleep
             wait = seek + per_byte * bitmap.nbytes
@@ -140,6 +146,15 @@ class QueryEngine:
     io_time_scale:
         Multiplier applied to the modeled latency (e.g. ``0.1`` to run a
         benchmark 10x faster than the era model).
+    compressed:
+        Serve and operate on WAH-compressed bitmaps end-to-end: fetches
+        return :class:`~repro.bitmaps.compressed.WahBitVector`, the
+        evaluators run in the compressed domain, and the shared cache
+        holds compressed payloads (pair with ``cache_bytes`` — compressed
+        entries are far smaller, so a byte budget is the honest capacity).
+    cache_bytes:
+        Optional byte budget for the shared cache (see
+        :class:`~repro.engine.cache.SharedBitmapCache`).
     """
 
     def __init__(
@@ -149,13 +164,16 @@ class QueryEngine:
         max_workers: int = 4,
         io_model: DiskModel | None = None,
         io_time_scale: float = 1.0,
+        compressed: bool = False,
+        cache_bytes: int | None = None,
     ):
         if max_workers < 1:
             raise EngineConfigError(f"max_workers must be >= 1, got {max_workers}")
         if io_time_scale < 0:
             raise EngineConfigError("io_time_scale must be >= 0")
         self.max_workers = max_workers
-        self.cache = SharedBitmapCache(cache_capacity)
+        self.compressed = compressed
+        self.cache = SharedBitmapCache(cache_capacity, byte_budget=cache_bytes)
         self.registry = IndexRegistry()
         self.metrics = EngineMetrics()
         self._relations: dict[str, Relation] = {}
@@ -326,11 +344,17 @@ class QueryEngine:
         start = time.perf_counter()
         try:
             index = self._index_for(relation_name, predicate.attribute)
+            prefix = (relation_name, predicate.attribute)
+            if self.compressed:
+                # Compressed and dense entries for the same slot must not
+                # collide in the shared cache.
+                prefix += ("wah",)
             source = _CachedSource(
                 index,
                 self.cache,
-                (relation_name, predicate.attribute),
+                prefix,
                 self._sleep,
+                compressed=self.compressed,
             )
             result = execute(
                 self._relations[relation_name],

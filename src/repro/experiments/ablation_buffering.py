@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from repro.core import costmodel
 from repro.core.buffering import optimal_assignment
-from repro.core.decomposition import Base
 from repro.core.evaluation import evaluate
 from repro.core.index import BitmapIndex
 from repro.core.optimize import knee_base

@@ -12,7 +12,6 @@ crossover.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core.evaluation import Predicate, evaluate
 from repro.core.index import BitmapIndex

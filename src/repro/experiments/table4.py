@@ -12,8 +12,6 @@ An optional WAH column extends the study with the bitmap-specific codec.
 
 from __future__ import annotations
 
-from repro.core.decomposition import Base
-from repro.core.index import BitmapIndex
 from repro.core.optimize import max_components, space_optimal_base
 from repro.experiments.harness import ExperimentResult
 from repro.query.executor import bitmap_index_for

@@ -108,15 +108,21 @@ def execute(
     return QueryResult(rids=rids, access_path=access_path, stats=stats)
 
 
-def bitmap_index_for(relation: Relation, attribute: str, **kwargs) -> BitmapIndex:
+def bitmap_index_for(
+    relation: Relation, attribute: str, compressed: bool = False, **kwargs
+) -> BitmapSource:
     """Build a bitmap index over a relation column's code domain.
 
     Keyword arguments are forwarded to :class:`BitmapIndex` (``base``,
     ``encoding``, …).  The index is built on the column's integer codes,
-    matching the dictionary translation in :func:`execute`.
+    matching the dictionary translation in :func:`execute`.  With
+    ``compressed=True`` the returned source serves WAH-compressed bitmaps
+    (see :meth:`BitmapIndex.as_compressed`), so :func:`execute` runs the
+    whole evaluation in the compressed domain.
     """
     column = relation.column(attribute)
-    return BitmapIndex(column.codes, cardinality=column.cardinality, **kwargs)
+    index = BitmapIndex(column.codes, cardinality=column.cardinality, **kwargs)
+    return index.as_compressed() if compressed else index
 
 
 def conjunctive_select(

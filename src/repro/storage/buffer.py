@@ -75,6 +75,10 @@ class BufferPool:
         self.nbits = source.nbits
         self.cardinality = source.cardinality
         self.nonnull = source.nonnull
+        # Serve whatever representation the wrapped source serves; buffered
+        # compressed bitmaps keep the pool's memory footprint proportional
+        # to compressed (not dense) size.
+        self.compressed = getattr(source, "compressed", False)
         self.hits = 0
         self.misses = 0
         self._lock = threading.Lock()

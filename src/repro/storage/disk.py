@@ -15,7 +15,7 @@ so the test suite can exercise the storage layer's integrity checks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import FileMissingError
 

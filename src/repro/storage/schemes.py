@@ -35,6 +35,7 @@ import struct
 import numpy as np
 
 from repro.bitmaps.bitvector import BitVector
+from repro.bitmaps.compressed import WahBitVector
 from repro.bitmaps.compression import Codec, get_codec
 from repro.core.decomposition import Base
 from repro.core.encoding import EncodingScheme, stored_bitmap_count
@@ -102,7 +103,16 @@ def _unframe(blob: bytes, path: str) -> tuple[bytes, int, int, str]:
 
 
 class StorageScheme(abc.ABC):
-    """Common machinery of the three physical organizations."""
+    """Common machinery of the three physical organizations.
+
+    With ``compressed=True`` the scheme serves
+    :class:`~repro.bitmaps.compressed.WahBitVector` bitmaps (the
+    compressed execution mode of :mod:`repro.core.evaluation`).  When the
+    file codec is already WAH, :class:`BitmapLevelStorage` hands the
+    stored payload out *without decoding* — the whole read path stays in
+    the compressed domain; other codecs and the row-major schemes decode
+    and re-encode, which still lets downstream operations run compressed.
+    """
 
     kind: str
 
@@ -116,6 +126,7 @@ class StorageScheme(abc.ABC):
         cardinality: int,
         codec: Codec,
         nonnull: BitVector | None = None,
+        compressed: bool = False,
     ):
         self.disk = disk
         self.name = name
@@ -124,8 +135,27 @@ class StorageScheme(abc.ABC):
         self.nbits = nbits
         self.cardinality = cardinality
         self.codec = codec
-        self.nonnull = nonnull
+        self._nonnull = nonnull
+        self._nonnull_wah: WahBitVector | None = None
+        self.compressed = compressed
         self._cache: dict[str, np.ndarray] = {}
+
+    @property
+    def nonnull(self) -> BitVector | WahBitVector | None:
+        """The existence bitmap, in the representation the scheme serves."""
+        if self._nonnull is None:
+            return None
+        if self.compressed:
+            if self._nonnull_wah is None:
+                self._nonnull_wah = WahBitVector.from_bitvector(self._nonnull)
+            return self._nonnull_wah
+        return self._nonnull
+
+    def _serve(self, bitmap: BitVector) -> BitVector | WahBitVector:
+        """Convert a decoded bitmap to the representation being served."""
+        if self.compressed:
+            return WahBitVector.from_bitvector(bitmap)
+        return bitmap
 
     # ------------------------------------------------------------------
     # Writing
@@ -183,7 +213,7 @@ class StorageScheme(abc.ABC):
     @abc.abstractmethod
     def fetch(
         self, component: int, slot: int, stats: ExecutionStats
-    ) -> BitVector:
+    ) -> BitVector | WahBitVector:
         """Read stored bitmap ``slot`` of ``component`` from disk."""
 
     def reset_cache(self) -> None:
@@ -258,7 +288,7 @@ class BitmapLevelStorage(StorageScheme):
 
     def fetch(
         self, component: int, slot: int, stats: ExecutionStats
-    ) -> BitVector:
+    ) -> BitVector | WahBitVector:
         path = self._bitmap_path(component, slot)
         blob = self.disk.read(path)
         stats.record_scan(nbytes=len(blob))
@@ -266,11 +296,17 @@ class BitmapLevelStorage(StorageScheme):
         payload, nbits, width, codec_name = _unframe(blob, path)
         if nbits != self.nbits or width != 1:
             raise CorruptFileError(f"{path}: unexpected geometry")
+        if self.compressed and codec_name == "wah":
+            # The stored payload already *is* the WahBitVector wire format:
+            # serve it as-is.  No decode, so nothing is charged to
+            # ``decompressed_bytes`` — the defining economy of compressed
+            # execution over WAH-coded storage.
+            return WahBitVector(payload, self.nbits)
         raw = get_codec(codec_name).decode(payload)
         stats.decompressed_bytes += len(raw)
         if len(raw) != (self.nbits + 7) // 8:
             raise CorruptFileError(f"{path}: bitmap payload length mismatch")
-        return BitVector.from_bytes(raw, self.nbits)
+        return self._serve(BitVector.from_bytes(raw, self.nbits))
 
 
 class ComponentLevelStorage(StorageScheme):
@@ -296,7 +332,7 @@ class ComponentLevelStorage(StorageScheme):
 
     def fetch(
         self, component: int, slot: int, stats: ExecutionStats
-    ) -> BitVector:
+    ) -> BitVector | WahBitVector:
         slots = self._slot_layout(component)
         try:
             column = slots.index(slot)
@@ -308,7 +344,7 @@ class ComponentLevelStorage(StorageScheme):
             self._component_path(component), len(slots), stats
         )
         stats.scans += 1
-        return BitVector.from_bools(matrix[:, column])
+        return self._serve(BitVector.from_bools(matrix[:, column]))
 
 
 class IndexLevelStorage(StorageScheme):
@@ -344,11 +380,11 @@ class IndexLevelStorage(StorageScheme):
 
     def fetch(
         self, component: int, slot: int, stats: ExecutionStats
-    ) -> BitVector:
+    ) -> BitVector | WahBitVector:
         column = self._column_of(component, slot)
         matrix = self._read_matrix(self._index_path(), self._total_width(), stats)
         stats.scans += 1
-        return BitVector.from_bools(matrix[:, column])
+        return self._serve(BitVector.from_bools(matrix[:, column]))
 
 
 _SCHEMES: dict[str, type[StorageScheme]] = {
@@ -388,8 +424,15 @@ def write_index(
     return cls.write(disk, name, index, codec)
 
 
-def open_scheme(disk: SimulatedDisk, name: str) -> StorageScheme:
-    """Re-open a previously written index from its manifest."""
+def open_scheme(
+    disk: SimulatedDisk, name: str, compressed: bool = False
+) -> StorageScheme:
+    """Re-open a previously written index from its manifest.
+
+    ``compressed=True`` opens the scheme in compressed-serving mode: every
+    fetched bitmap is a :class:`~repro.bitmaps.compressed.WahBitVector`
+    (for a WAH-coded BS index, served without decoding).
+    """
     try:
         manifest = json.loads(disk.read(f"{name}/manifest"))
     except ValueError as exc:
@@ -409,4 +452,7 @@ def open_scheme(disk: SimulatedDisk, name: str) -> StorageScheme:
         blob = disk.read(f"{name}/nn")
         payload, file_nbits, _, _ = _unframe(blob, f"{name}/nn")
         nonnull = BitVector.from_bytes(payload, file_nbits)
-    return cls(disk, name, base, encoding, nbits, cardinality, codec, nonnull)
+    return cls(
+        disk, name, base, encoding, nbits, cardinality, codec, nonnull,
+        compressed=compressed,
+    )

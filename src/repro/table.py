@@ -44,7 +44,7 @@ from repro.core.decomposition import Base
 from repro.core.encoding import EncodingScheme
 from repro.core.index import BitmapIndex
 from repro.core.multi import AttributeSpec, allocate_budget
-from repro.errors import InvalidPredicateError, ReproError
+from repro.errors import ReproError
 from repro.query.expression import (
     And,
     Comparison,
@@ -53,7 +53,6 @@ from repro.query.expression import (
 )
 from repro.query.optimizer import Catalog, choose_plan, execute_plan
 from repro.query.predicate import AttributePredicate
-from repro.relation.column import Column
 from repro.relation.histogram import EquiDepthHistogram
 from repro.relation.relation import Relation
 from repro.relation.rid_index import RIDListIndex

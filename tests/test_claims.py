@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments import EXPERIMENTS
 from repro.experiments.__main__ import main

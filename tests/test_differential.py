@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.bitmaps.compressed import WahBitVector
 from repro.core.decomposition import Base, integer_nth_root_ceil
 from repro.core.encoding import EncodingScheme
 from repro.core.evaluation import (
@@ -25,6 +26,7 @@ from repro.core.evaluation import (
     range_eval_opt,
 )
 from repro.core.index import BitmapIndex
+from repro.stats import ExecutionStats
 
 NUM_ROWS = 400
 CARDINALITIES = [7, 24, 60]
@@ -87,6 +89,53 @@ def test_evaluate_matches_naive_scan(cardinality, base, encoding, seed):
             expected = predicate.matches(values)
             assert np.array_equal(got.to_bools(), expected), (
                 f"{encoding.value} base={base} failed on A {op} {v}"
+            )
+
+
+@pytest.mark.parametrize("cardinality,base,encoding,seed", list(cases()))
+def test_compressed_path_matches_dense(cardinality, base, encoding, seed):
+    """Compressed-domain execution is observationally identical to dense.
+
+    Same random base x encoding sweep as the naive-scan differential:
+    the compressed source must return bit-identical RIDs *and* charge the
+    exact same operation counts (the evaluators share one code path over
+    both algebras, so any divergence is a genericization bug).
+    """
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, cardinality, NUM_ROWS)
+    values[0], values[1] = 0, cardinality - 1
+    nulls = rng.random(NUM_ROWS) < 0.1
+    index = BitmapIndex(
+        values, cardinality, base=base, encoding=encoding, nulls=nulls
+    )
+    compressed = index.as_compressed()
+    for op in OPERATORS:
+        for v in boundary_values(cardinality, rng):
+            predicate = Predicate(op, v)
+            dense_stats, comp_stats = ExecutionStats(), ExecutionStats()
+            dense = evaluate(index, predicate, stats=dense_stats)
+            comp = evaluate(compressed, predicate, stats=comp_stats)
+            assert isinstance(comp, WahBitVector)
+            assert np.array_equal(dense.indices(), comp.indices()), (
+                f"{encoding.value} base={base}: RIDs diverge on A {op} {v}"
+            )
+            dense_ops = (
+                dense_stats.ands,
+                dense_stats.ors,
+                dense_stats.xors,
+                dense_stats.nots,
+                dense_stats.scans,
+            )
+            comp_ops = (
+                comp_stats.ands,
+                comp_stats.ors,
+                comp_stats.xors,
+                comp_stats.nots,
+                comp_stats.scans,
+            )
+            assert dense_ops == comp_ops, (
+                f"{encoding.value} base={base}: op counts diverge on "
+                f"A {op} {v}: dense={dense_ops} compressed={comp_ops}"
             )
 
 

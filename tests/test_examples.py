@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import os
 import runpy
-import sys
 
 import pytest
 

@@ -204,3 +204,117 @@ def test_from_indices_out_of_range_rejected():
         BitVector.from_indices(10, [10])
     with pytest.raises(IndexError):
         BitVector.from_indices(10, [-1])
+
+
+# ----------------------------------------------------------------------
+# WahBitVector: compressed algebra vs. big-int semantics
+# ----------------------------------------------------------------------
+
+from repro.bitmaps.compressed import WahBitVector  # noqa: E402
+
+#: Lengths straddling the 31-bit WAH group boundary (and the word/byte
+#: hot spots above) — where fill runs meet padded literal tails.
+WAH_LENGTHS = sorted(set(LENGTHS + [30, 31, 62, 63, 93, 155, 248, 249, 310]))
+
+
+def random_wah(nbits: int, seed: int, density: float = 0.5) -> WahBitVector:
+    return WahBitVector.from_bitvector(random_vector(nbits, seed, density))
+
+
+def wah_as_int(vec: WahBitVector) -> int:
+    return as_int(vec.to_bitvector())
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("nbits", WAH_LENGTHS)
+def test_wah_and_or_xor_match_bigint(nbits, seed):
+    a = random_wah(nbits, seed)
+    b = random_wah(nbits, seed + 100)
+    ia, ib = wah_as_int(a), wah_as_int(b)
+    assert wah_as_int(a & b) == ia & ib
+    assert wah_as_int(a | b) == ia | ib
+    assert wah_as_int(a ^ b) == ia ^ ib
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("nbits", WAH_LENGTHS)
+@pytest.mark.parametrize("density", [0.02, 0.5, 0.98])
+def test_wah_not_masks_padded_tail(nbits, seed, density):
+    # NOT must complement within [0, nbits) and keep the 31-bit padding
+    # tail zero — the compressed analogue of dense tail-word masking.
+    a = random_wah(nbits, seed, density)
+    assert wah_as_int(~a) == wah_as_int(a) ^ full_mask(nbits)
+    assert (~~a) == a
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("nbits", WAH_LENGTHS)
+def test_wah_count_and_indices_match_bigint(nbits, seed):
+    a = random_wah(nbits, seed, density=0.1)
+    ia = wah_as_int(a)
+    assert a.count() == ia.bit_count()
+    assert a.indices().tolist() == [i for i in range(nbits) if (ia >> i) & 1]
+    assert a.any() == (ia != 0)
+
+
+@pytest.mark.parametrize("nbits", WAH_LENGTHS)
+def test_wah_identities_with_zeros_and_ones(nbits):
+    a = random_wah(nbits, 3)
+    zeros, ones = WahBitVector.zeros(nbits), WahBitVector.ones(nbits)
+    assert (a & ones) == a
+    assert (a | zeros) == a
+    assert (a ^ a) == zeros
+    assert (a | ~a) == ones
+    assert ones.count() == nbits
+    assert zeros.count() == 0
+
+
+@pytest.mark.parametrize("nbits", WAH_LENGTHS)
+@pytest.mark.parametrize("k", [2, 3, 5])
+def test_wah_kway_matches_pairwise_fold(nbits, k):
+    vectors = [random_wah(nbits, 50 + j, density=0.2) for j in range(k)]
+    ints = [wah_as_int(v) for v in vectors]
+    acc_or = acc_and = ints[0]
+    for i in ints[1:]:
+        acc_or |= i
+        acc_and &= i
+    assert wah_as_int(WahBitVector.or_many(vectors)) == acc_or
+    assert wah_as_int(WahBitVector.and_many(vectors)) == acc_and
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("nbits", WAH_LENGTHS)
+def test_wah_dense_roundtrip(nbits, seed):
+    dense = random_vector(nbits, seed, density=0.3)
+    wah = WahBitVector.from_bitvector(dense)
+    assert wah.nbits == nbits
+    assert wah.to_bitvector() == dense
+    assert np.array_equal(wah.to_bools(), dense.to_bools())
+
+
+def test_wah_length_mismatch_rejected():
+    a = WahBitVector.zeros(64)
+    b = WahBitVector.zeros(65)
+    with pytest.raises(LengthMismatchError):
+        _ = a & b
+    with pytest.raises(LengthMismatchError):
+        WahBitVector.or_many([a, b])
+
+
+def test_wah_empty_vector():
+    vec = WahBitVector.zeros(0)
+    assert vec.count() == 0
+    assert (~vec).count() == 0
+    assert vec.indices().tolist() == []
+
+
+def test_wah_run_structured_input_stays_small():
+    # 10k rows in 4 runs: the payload must be a handful of words, and the
+    # compressed complement must stay just as small.
+    bools = np.zeros(10_000, dtype=bool)
+    bools[2_000:5_000] = True
+    bools[7_000:7_031] = True
+    wah = WahBitVector.from_bitvector(BitVector.from_bools(bools))
+    assert wah.compressed_bytes < 64
+    assert (~wah).compressed_bytes < 64
+    assert wah.count() == 3_031

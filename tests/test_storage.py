@@ -13,13 +13,7 @@ from repro.errors import CorruptFileError, FileMissingError, StorageError
 from repro.relation.projection import ProjectionIndex
 from repro.stats import ExecutionStats
 from repro.storage.disk import DiskModel, SimulatedDisk
-from repro.storage.schemes import (
-    BitmapLevelStorage,
-    ComponentLevelStorage,
-    IndexLevelStorage,
-    open_scheme,
-    write_index,
-)
+from repro.storage.schemes import open_scheme, write_index
 
 from conftest import make_index
 

@@ -2,13 +2,38 @@
 
 from __future__ import annotations
 
+import struct
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.bitmaps.wah import wah_decode, wah_encode, wah_word_count
+from repro.bitmaps.wah import (
+    wah_and,
+    wah_decode,
+    wah_encode,
+    wah_or,
+    wah_popcount,
+    wah_word_count,
+)
 from repro.errors import CorruptFileError
+
+ZERO_FILL = 0x80000000  # a fill word with run length 0 (contributes nothing)
+ONE_FILL_FLAG = 0xC0000000
+
+
+def _payload(orig_len: int, words: list[int]) -> bytes:
+    """Hand-assemble a WAH payload from a header length and raw words."""
+    return struct.pack("<Q", orig_len) + np.array(words, dtype="<u4").tobytes()
+
+
+def _with_zero_fills(encoded: bytes, positions: list[int]) -> bytes:
+    """Insert zero-run fill words into an encoded payload's body."""
+    words = list(np.frombuffer(encoded[8:], dtype="<u4"))
+    for pos in sorted(positions, reverse=True):
+        words.insert(pos % (len(words) + 1), ZERO_FILL)
+    return encoded[:8] + np.array(words, dtype="<u4").tobytes()
 
 
 class TestRoundTrip:
@@ -88,10 +113,112 @@ class TestCorruption:
             wah_decode(bytes(encoded))
 
 
+class TestZeroRunFillAgreement:
+    """Regression: every consumer must agree on zero-run fill words.
+
+    A zero-length fill (``0x80000000``) contributes no groups.  The
+    decoder always skipped it, but the streaming run reader used to treat
+    it as end-of-stream — so ``wah_and``/``wah_or`` raised a spurious
+    CorruptFileError and ``wah_popcount`` silently returned a short count
+    on payloads the decoder considered valid.
+    """
+
+    # 31 bytes = 248 bits = exactly 8 groups of ones, so the canonical
+    # encoding is a single one-fill word; the noisy variants interleave
+    # zero-run fills that change nothing.
+    DATA = b"\xff" * 31
+
+    def noisy(self) -> bytes:
+        return _payload(31, [ZERO_FILL, ONE_FILL_FLAG | 8])
+
+    def test_decoder_skips_zero_run_fill(self):
+        assert wah_decode(self.noisy()) == self.DATA
+
+    def test_popcount_counts_past_zero_run_fill(self):
+        assert wah_popcount(self.noisy()) == 248
+
+    def test_binary_ops_accept_zero_run_fill(self):
+        clean = wah_encode(self.DATA)
+        assert wah_decode(wah_and(self.noisy(), clean)) == self.DATA
+        assert wah_decode(wah_or(self.noisy(), clean)) == self.DATA
+
+    def test_zero_run_one_fill_also_skipped(self):
+        payload = _payload(31, [ONE_FILL_FLAG | 4, ONE_FILL_FLAG, ONE_FILL_FLAG | 4])
+        assert wah_decode(payload) == self.DATA
+        assert wah_popcount(payload) == 248
+
+    def test_interleaved_zero_fills_everywhere(self, rng):
+        data = rng.integers(0, 256, 500, dtype=np.uint8).tobytes()
+        encoded = wah_encode(data)
+        positions = [int(p) for p in rng.integers(0, 64, size=6)]
+        noisy = _with_zero_fills(encoded, positions)
+        assert wah_decode(noisy) == data
+        assert wah_popcount(noisy) == wah_popcount(encoded)
+        assert wah_decode(wah_and(noisy, encoded)) == data
+
+
+class TestOverlongPayload:
+    """Regression: a body with surplus whole groups must be rejected.
+
+    ``wah_decode`` used to silently drop groups beyond the declared
+    ``orig_len`` — mirroring the existing "fewer bits than declared"
+    check, surplus groups now raise CorruptFileError too.
+    """
+
+    def test_surplus_fill_groups_raise(self):
+        # Header says 4 bytes (2 groups); the body is a 5-group fill.
+        with pytest.raises(CorruptFileError):
+            wah_decode(_payload(4, [ZERO_FILL | 5]))
+
+    def test_surplus_literal_word_raises(self):
+        encoded = wah_encode(b"\xa5" * 4)
+        extra = encoded + np.array([0x12345], dtype="<u4").tobytes()
+        with pytest.raises(CorruptFileError):
+            wah_decode(extra)
+
+    def test_exact_group_count_still_decodes(self):
+        data = b"\xa5" * 4
+        assert wah_decode(wah_encode(data)) == data
+
+
 @settings(max_examples=80, deadline=None)
 @given(data=st.binary(max_size=4000))
 def test_round_trip_property(data):
     assert wah_decode(wah_encode(data)) == data
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.binary(min_size=1, max_size=2000), extra=st.integers(1, 40))
+def test_fuzz_overlong_body_raises(data, extra):
+    """Appending surplus fill groups to any valid payload must raise."""
+    encoded = wah_encode(data)
+    surplus = np.array([ZERO_FILL | extra], dtype="<u4").tobytes()
+    with pytest.raises(CorruptFileError):
+        wah_decode(encoded + surplus)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.binary(max_size=2000), inflate=st.integers(4, 64))
+def test_fuzz_short_body_raises(data, inflate):
+    """Inflating the declared length past the body's groups must raise."""
+    encoded = wah_encode(data)
+    stretched = struct.pack("<Q", len(data) + inflate) + encoded[8:]
+    with pytest.raises(CorruptFileError):
+        wah_decode(stretched)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    data=st.binary(min_size=1, max_size=2000),
+    positions=st.lists(st.integers(0, 1 << 16), min_size=1, max_size=8),
+)
+def test_fuzz_zero_run_fills_are_transparent(data, positions):
+    """Zero-run fills anywhere in the body change nothing, on every path."""
+    encoded = wah_encode(data)
+    noisy = _with_zero_fills(encoded, positions)
+    assert wah_decode(noisy) == data
+    assert wah_popcount(noisy) == wah_popcount(encoded)
+    assert wah_decode(wah_or(noisy, encoded)) == data
 
 
 @settings(max_examples=30, deadline=None)
