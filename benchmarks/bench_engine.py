@@ -15,6 +15,9 @@ from repro.core.aggregation import BitSlicedAggregator
 from repro.core.decomposition import Base
 from repro.core.evaluation import Predicate, evaluate
 from repro.core.index import BitmapIndex
+from repro.engine.engine import QueryEngine
+from repro.query.options import QueryOptions
+from repro.relation.relation import Relation
 from repro.workloads.generators import clustered_values, uniform_values
 
 NBITS = 1_000_000
@@ -128,6 +131,46 @@ def test_maintenance_append_batch(benchmark):
 
     index = benchmark.pedantic(append_batch, rounds=5, iterations=1)
     assert index.nbits == 51_000
+
+
+@pytest.fixture(scope="module")
+def serving_engine():
+    rng = np.random.default_rng(11)
+    relation = Relation.from_dict(
+        "bench",
+        {
+            "a": rng.integers(0, 100, 200_000),
+            "b": rng.integers(0, 16, 200_000),
+        },
+    )
+    engine = QueryEngine(cache_capacity=0)
+    engine.register(relation, base=Base((10, 10)))
+    engine.warm()
+    return engine
+
+
+def test_engine_query_untraced(benchmark, serving_engine):
+    # The untraced hot path: the tracing layer must keep this within
+    # noise of the pre-observability engine (acceptance: <5% regression).
+    result = benchmark(lambda: serving_engine.query("a <= 55"))
+    assert result.count > 0
+    assert result.trace is None
+
+
+def test_engine_query_traced(benchmark, serving_engine):
+    options = QueryOptions(trace=True)
+    result = benchmark(
+        lambda: serving_engine.query("a <= 55", options=options)
+    )
+    assert result.trace is not None
+    assert result.trace.count("fetch") + result.trace.count("cache") > 0
+
+
+def test_engine_query_expression(benchmark, serving_engine):
+    result = benchmark(
+        lambda: serving_engine.query("a <= 55 and (b = 3 or b = 7)")
+    )
+    assert result.count > 0
 
 
 def test_compressed_domain_and_sorted(benchmark):

@@ -39,8 +39,10 @@ from repro.engine import QueryEngine, SharedBitmapCache
 from repro.core.aggregation import BitSlicedAggregator
 from repro.core.multi import AttributeSpec, TableDesign, allocate_budget
 from repro.errors import ReproError
+from repro.query.options import QueryOptions
 from repro.stats import ExecutionStats
 from repro.table import Table
+from repro.trace import ExplainReport, QueryTrace, explain
 
 __version__ = "1.0.0"
 
@@ -52,9 +54,12 @@ __all__ = [
     "BitmapIndex",
     "EncodingScheme",
     "ExecutionStats",
+    "ExplainReport",
     "IndexDesign",
     "Predicate",
     "QueryEngine",
+    "QueryOptions",
+    "QueryTrace",
     "ReproError",
     "SharedBitmapCache",
     "Table",
@@ -62,6 +67,7 @@ __all__ = [
     "allocate_budget",
     "equality_eval",
     "evaluate",
+    "explain",
     "get_codec",
     "range_eval",
     "range_eval_opt",

@@ -111,21 +111,33 @@ class Predicate:
 
 def _and(a: Bitmap, b: Bitmap, stats: ExecutionStats) -> Bitmap:
     stats.ands += 1
+    if stats.trace is not None:
+        with stats.trace.span("and", kind="op", nbits=a.nbits):
+            return a & b
     return a & b
 
 
 def _or(a: Bitmap, b: Bitmap, stats: ExecutionStats) -> Bitmap:
     stats.ors += 1
+    if stats.trace is not None:
+        with stats.trace.span("or", kind="op", nbits=a.nbits):
+            return a | b
     return a | b
 
 
 def _xor(a: Bitmap, b: Bitmap, stats: ExecutionStats) -> Bitmap:
     stats.xors += 1
+    if stats.trace is not None:
+        with stats.trace.span("xor", kind="op", nbits=a.nbits):
+            return a ^ b
     return a ^ b
 
 
 def _not(a: Bitmap, stats: ExecutionStats) -> Bitmap:
     stats.nots += 1
+    if stats.trace is not None:
+        with stats.trace.span("not", kind="op", nbits=a.nbits):
+            return ~a
     return ~a
 
 
@@ -141,12 +153,21 @@ def _or_all(vectors: list, stats: ExecutionStats) -> Bitmap:
     if len(vectors) == 1:
         return vectors[0]
     stats.ors += len(vectors) - 1
-    if all(isinstance(v, WahBitVector) for v in vectors):
-        return WahBitVector.or_many(vectors)
-    acc = vectors[0]
-    for v in vectors[1:]:
-        acc = acc | v
-    return acc
+
+    def merge() -> Bitmap:
+        if all(isinstance(v, WahBitVector) for v in vectors):
+            return WahBitVector.or_many(vectors)
+        acc = vectors[0]
+        for v in vectors[1:]:
+            acc = acc | v
+        return acc
+
+    if stats.trace is not None:
+        with stats.trace.span(
+            "or_many", kind="op", nbits=vectors[0].nbits, count=len(vectors) - 1
+        ):
+            return merge()
+    return merge()
 
 
 def _zeros(source: BitmapSource) -> Bitmap:
@@ -689,6 +710,15 @@ def evaluate(
         raise InvalidPredicateError(
             f"unknown algorithm {algorithm!r}; expected one of: {known}, auto"
         ) from None
+    if stats is not None and stats.trace is not None:
+        with stats.trace.span(
+            algorithm,
+            kind="phase",
+            op=predicate.op,
+            value=predicate.value,
+            encoding=source.encoding.value,
+        ):
+            return func(source, predicate, stats)
     return func(source, predicate, stats)
 
 

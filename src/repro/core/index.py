@@ -220,19 +220,48 @@ class BitmapIndex:
         and the scan is charged at the compressed payload size — the bytes a
         WAH-coded storage layer would actually move.
         """
+        trace = stats.trace
         if compressed:
             key = (component, slot)
             bitmap = self._wah_bitmaps.get(key)
-            if bitmap is None:
-                bitmap = WahBitVector.from_bitvector(
-                    self.components[component - 1].bitmap(slot)
-                )
+            encoded = bitmap is None
+            if encoded:
+                if trace is not None:
+                    with trace.span(
+                        "wah.encode", kind="decode", component=component, slot=slot
+                    ):
+                        bitmap = WahBitVector.from_bitvector(
+                            self.components[component - 1].bitmap(slot)
+                        )
+                else:
+                    bitmap = WahBitVector.from_bitvector(
+                        self.components[component - 1].bitmap(slot)
+                    )
                 self._wah_bitmaps[key] = bitmap
             stats.record_scan(nbytes=bitmap.nbytes)
+            if trace is not None:
+                trace.event(
+                    "index.fetch",
+                    kind="fetch",
+                    component=component,
+                    slot=slot,
+                    nbytes=bitmap.nbytes,
+                    source="index.wah",
+                    encoded=encoded,
+                )
             return bitmap
         comp = self.components[component - 1]
         bitmap = comp.bitmap(slot)
         stats.record_scan(nbytes=bitmap.nbytes)
+        if trace is not None:
+            trace.event(
+                "index.fetch",
+                kind="fetch",
+                component=component,
+                slot=slot,
+                nbytes=bitmap.nbytes,
+                source="index",
+            )
         return bitmap
 
     def as_compressed(self) -> "CompressedBitmapSource":

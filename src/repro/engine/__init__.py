@@ -6,14 +6,21 @@ See :mod:`repro.engine.engine` for the architecture overview and
 
 from repro.engine.cache import SharedBitmapCache
 from repro.engine.engine import IndexSpec, QueryEngine
-from repro.engine.metrics import EngineMetrics, percentile
+from repro.engine.metrics import EngineMetrics, LatencyReservoir, percentile
 from repro.engine.registry import IndexRegistry
+from repro.query.options import QueryOptions
+from repro.trace import ExplainReport, QueryTrace, explain
 
 __all__ = [
     "EngineMetrics",
+    "ExplainReport",
     "IndexRegistry",
     "IndexSpec",
+    "LatencyReservoir",
     "QueryEngine",
+    "QueryOptions",
+    "QueryTrace",
     "SharedBitmapCache",
+    "explain",
     "percentile",
 ]

@@ -76,18 +76,34 @@ class SharedBitmapCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # Per-group hit/miss counters, keyed by the first element of a
+        # tuple key (the engine keys by (relation, attribute, ...), so
+        # groups are relations).  Non-tuple keys land under their repr.
+        self._groups: dict[str, list[int]] = {}
 
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _group_of(key: Hashable) -> str:
+        if isinstance(key, tuple) and key:
+            return str(key[0])
+        return str(key)
+
     def get(self, key: Hashable):
         """Return the cached bitmap for ``key``, or ``None`` on a miss."""
+        group = self._group_of(key)
         with self._lock:
+            counters = self._groups.get(group)
+            if counters is None:
+                counters = self._groups[group] = [0, 0]
             bitmap = self._entries.get(key)
             if bitmap is not None:
                 self._entries.move_to_end(key)
                 self.hits += 1
+                counters[0] += 1
                 return bitmap
             self.misses += 1
+            counters[1] += 1
             return None
 
     def put(self, key: Hashable, bitmap) -> None:
@@ -123,6 +139,7 @@ class SharedBitmapCache:
             self.hits = 0
             self.misses = 0
             self.evictions = 0
+            self._groups.clear()
 
     # ------------------------------------------------------------------
 
@@ -159,6 +176,14 @@ class SharedBitmapCache:
                 "misses": misses,
                 "evictions": self.evictions,
                 "hit_rate": hits / total if total else 0.0,
+                "groups": {
+                    name: {
+                        "hits": h,
+                        "misses": m,
+                        "hit_rate": h / (h + m) if h + m else 0.0,
+                    }
+                    for name, (h, m) in sorted(self._groups.items())
+                },
             }
 
     def __repr__(self) -> str:

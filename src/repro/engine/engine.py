@@ -5,11 +5,22 @@
 attribute's :class:`~repro.core.index.BitmapIndex` lazily behind a
 thread-safe :class:`~repro.engine.registry.IndexRegistry`, routes every
 bitmap fetch through one shared :class:`~repro.engine.cache.SharedBitmapCache`,
-and evaluates batches of :class:`~repro.query.predicate.AttributePredicate`
-queries on a thread pool.  Query evaluation reuses
-:func:`repro.query.executor.execute` with ``verify=False`` — the serving
-path must not pay a ground-truth scan per query; correctness is pinned by
-the differential and concurrency test suites instead.
+and evaluates queries — single or batched — on a thread pool.
+
+:meth:`QueryEngine.query` is the unified entry point: it accepts an
+:class:`~repro.query.predicate.AttributePredicate`, a boolean
+:class:`~repro.query.expression.Expression` tree, or a textual expression
+string, and always returns a :class:`~repro.query.executor.QueryResult`.
+Expression evaluation routes every leaf's bitmap fetches through the same
+shared cache as the single-predicate path.  :meth:`QueryEngine.explain`
+runs a query with tracing on and returns an
+:class:`~repro.trace.ExplainReport` comparing the paper's cost-model
+prediction against the observed counters.
+
+Query evaluation does not verify by default — the serving path must not
+pay a ground-truth scan per query; correctness is pinned by the
+differential and concurrency test suites instead.  Pass
+``QueryOptions(verify=True)`` to opt in.
 
 Why threads help: the AND/OR/NOT hot path runs inside numpy, which releases
 the GIL on large arrays, and (when the engine is configured with an
@@ -24,6 +35,8 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.decomposition import Base, integer_nth_root_ceil
 from repro.core.encoding import EncodingScheme
 from repro.core.index import BitmapIndex
@@ -31,11 +44,19 @@ from repro.engine.cache import SharedBitmapCache
 from repro.engine.metrics import EngineMetrics
 from repro.engine.registry import IndexRegistry
 from repro.errors import EngineConfigError
-from repro.query.executor import AccessPath, QueryResult, execute
+from repro.query.executor import (
+    AccessPath,
+    QueryResult,
+    VerificationError,
+    execute,
+)
+from repro.query.expression import Expression
+from repro.query.options import DEFAULT_OPTIONS, QueryOptions, normalize_query
 from repro.query.predicate import AttributePredicate
 from repro.relation.relation import Relation
 from repro.stats import ExecutionStats
 from repro.storage.disk import DiskModel
+from repro.trace import ExplainReport, QueryTrace, build_explain_report
 
 
 @dataclass(frozen=True)
@@ -115,6 +136,15 @@ class _CachedSource:
         bitmap = self._cache.get(key)
         if bitmap is not None:
             stats.buffer_hits += 1
+            if stats.trace is not None:
+                stats.trace.event(
+                    "cache.hit",
+                    kind="cache",
+                    component=component,
+                    slot=slot,
+                    relation=self._prefix[0],
+                    attribute=self._prefix[1],
+                )
             return bitmap
         bitmap = self._index.fetch(
             component, slot, stats, compressed=self.compressed
@@ -124,20 +154,26 @@ class _CachedSource:
             wait = seek + per_byte * bitmap.nbytes
             stats.io_seconds += wait
             if wait > 0:
-                time.sleep(wait)
+                if stats.trace is not None:
+                    with stats.trace.span(
+                        "io.wait", kind="io", component=component, slot=slot
+                    ):
+                        time.sleep(wait)
+                else:
+                    time.sleep(wait)
         self._cache.put(key, bitmap)
         return bitmap
 
 
 class QueryEngine:
-    """Serves batches of attribute predicates over registered relations.
+    """Serves queries over registered, bitmap-indexed relations.
 
     Parameters
     ----------
     cache_capacity:
         Bitmaps held by the shared LRU cache (0 disables caching).
     max_workers:
-        Default thread-pool width for :meth:`submit_batch`.
+        Default thread-pool width for :meth:`query_batch`.
     io_model:
         Optional :class:`~repro.storage.disk.DiskModel`; when given, every
         cache miss sleeps the modeled read latency (scaled by
@@ -179,6 +215,7 @@ class QueryEngine:
         self._relations: dict[str, Relation] = {}
         self._specs: dict[str, dict[str, IndexSpec]] = {}
         self._default_relation: str | None = None
+        self._io_model = io_model
         if io_model is not None:
             self._sleep = (
                 io_model.seek_seconds * io_time_scale,
@@ -237,14 +274,139 @@ class QueryEngine:
         return len(self.registry)
 
     # ------------------------------------------------------------------
-    # Query paths
+    # The unified query API
     # ------------------------------------------------------------------
+
+    def query(
+        self,
+        query,
+        relation: str | None = None,
+        *,
+        options: QueryOptions | None = None,
+        trace: bool = False,
+    ) -> QueryResult:
+        """Evaluate one query through the cached bitmap path.
+
+        ``query`` is any of the unified forms: an
+        :class:`~repro.query.predicate.AttributePredicate`, a boolean
+        :class:`~repro.query.expression.Expression` tree, or a textual
+        expression string (parsed with the recursive-descent parser).  A
+        single comparison — whichever form it arrives in — takes the
+        single-predicate fast path; anything else is evaluated as an
+        expression tree whose leaf fetches all go through the shared
+        cache.  ``trace=True`` is shorthand for
+        ``options=QueryOptions(trace=True)``; the recorded
+        :class:`~repro.trace.QueryTrace` rides on ``result.trace``.
+        """
+        options = options if options is not None else DEFAULT_OPTIONS
+        if trace and not options.trace:
+            options = options.with_(trace=True)
+        name = self._resolve(relation)
+        q = normalize_query(query)
+        if isinstance(q, AttributePredicate):
+            return self._run_one(name, q, options)
+        return self._run_expression(name, q, options)
+
+    def query_batch(
+        self,
+        queries: list,
+        *,
+        workers: int | None = None,
+        relation: str | None = None,
+        options: QueryOptions | None = None,
+    ) -> list[QueryResult]:
+        """Evaluate a batch of queries, returning results in input order.
+
+        Each item is a query in any unified form (against ``relation``,
+        defaulting to the first registered one) or an explicit
+        ``(relation_name, query)`` pair.  ``workers=1`` runs the batch
+        inline on the calling thread — the sequential baseline;
+        ``options.workers`` supplies the width when ``workers`` is not
+        passed.
+        """
+        options = options if options is not None else DEFAULT_OPTIONS
+        resolved: list[tuple[str, AttributePredicate | Expression]] = []
+        for item in queries:
+            if isinstance(item, tuple) and not isinstance(item, Expression):
+                name, q = item
+                resolved.append((self._resolve(name), normalize_query(q)))
+            else:
+                resolved.append((self._resolve(relation), normalize_query(item)))
+        if workers is None:
+            workers = options.workers
+        if workers is None:
+            workers = self.max_workers
+        if workers < 1:
+            raise EngineConfigError(f"workers must be >= 1, got {workers}")
+
+        def run(name: str, q) -> QueryResult:
+            if isinstance(q, AttributePredicate):
+                return self._run_one(name, q, options)
+            return self._run_expression(name, q, options)
+
+        if workers == 1 or len(resolved) <= 1:
+            return [run(name, q) for name, q in resolved]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(run, name, q) for name, q in resolved]
+            return [future.result() for future in futures]
+
+    def explain(
+        self,
+        query,
+        relation: str | None = None,
+        *,
+        options: QueryOptions | None = None,
+    ) -> ExplainReport:
+        """Run ``query`` with tracing on and report predicted vs. actual cost.
+
+        The query executes for real (same cached path as :meth:`query`)
+        but is *not* folded into the serving metrics, so EXPLAIN runs do
+        not pollute an operator's dashboards.  The report compares the
+        paper's cost model (:func:`repro.core.costmodel.scans_for_predicate`
+        per leaf) with the observed counters: on a cold cache
+        ``actual scans == predicted``; on a warm one
+        ``scans + buffer_hits == predicted``.
+        """
+        options = options if options is not None else DEFAULT_OPTIONS
+        options = options.with_(trace=True)
+        name = self._resolve(relation)
+        q = normalize_query(query)
+        if isinstance(q, AttributePredicate):
+            result = self._run_one(name, q, options, record=False)
+            mode = "predicate"
+        else:
+            result = self._run_expression(name, q, options, record=False)
+            mode = "expression"
+        sources = {
+            attribute: self._index_for(name, attribute)
+            for attribute in (
+                {q.attribute} if isinstance(q, AttributePredicate) else q.attributes()
+            )
+        }
+        io_model = None
+        if self._io_model is not None:
+            io_model = dict(self._io_model.as_dict())
+            io_model["io_seconds"] = result.stats.io_seconds
+            io_model["description"] = "modeled cache-miss read waits"
+        return build_explain_report(
+            self._relations[name],
+            q,
+            sources,
+            result,
+            mode=mode,
+            compressed=self.compressed,
+            algorithm=options.algorithm,
+            io_model=io_model,
+            plan=f"cached-bitmap/{mode}",
+        )
+
+    # Back-compat entry points (pre-unification API).
 
     def submit(
         self, predicate: AttributePredicate, relation: str | None = None
     ) -> QueryResult:
-        """Evaluate one predicate through the cached bitmap path."""
-        return self._run_one(self._resolve(relation), predicate)
+        """Evaluate one predicate (alias of :meth:`query`)."""
+        return self.query(predicate, relation)
 
     def submit_batch(
         self,
@@ -253,30 +415,8 @@ class QueryEngine:
         workers: int | None = None,
         relation: str | None = None,
     ) -> list[QueryResult]:
-        """Evaluate a batch of queries, returning results in input order.
-
-        Each item is an :class:`AttributePredicate` (against ``relation``,
-        defaulting to the first registered one) or an explicit
-        ``(relation_name, predicate)`` pair.  ``workers=1`` runs the batch
-        inline on the calling thread — the sequential baseline.
-        """
-        resolved: list[tuple[str, AttributePredicate]] = []
-        for item in queries:
-            if isinstance(item, AttributePredicate):
-                resolved.append((self._resolve(relation), item))
-            else:
-                name, predicate = item
-                resolved.append((self._resolve(name), predicate))
-        workers = self.max_workers if workers is None else workers
-        if workers < 1:
-            raise EngineConfigError(f"workers must be >= 1, got {workers}")
-        if workers == 1 or len(resolved) <= 1:
-            return [self._run_one(name, pred) for name, pred in resolved]
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(self._run_one, name, pred) for name, pred in resolved
-            ]
-            return [future.result() for future in futures]
+        """Evaluate a batch of queries (alias of :meth:`query_batch`)."""
+        return self.query_batch(queries, workers=workers, relation=relation)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -288,6 +428,49 @@ class QueryEngine:
         out["cache"] = self.cache.snapshot()
         out["registry"] = self.registry.snapshot()
         return out
+
+    def snapshot_text(self) -> str:
+        """The engine's metrics in the Prometheus text exposition format.
+
+        Extends :meth:`EngineMetrics.snapshot_text` with cache and
+        registry gauges (including the per-relation cache hit breakdown).
+        """
+        cache = self.cache.snapshot()
+        registry = self.registry.snapshot()
+        lines = [self.metrics.snapshot_text().rstrip("\n")]
+        for name, help_text, value in (
+            ("cache_entries", "Bitmaps resident in the shared cache.", cache["size"]),
+            ("cache_bytes", "Bytes resident in the shared cache.", cache["bytes_cached"]),
+            ("cache_hits_total", "Shared-cache hits.", cache["hits"]),
+            ("cache_misses_total", "Shared-cache misses.", cache["misses"]),
+            ("cache_evictions_total", "Shared-cache evictions.", cache["evictions"]),
+            ("registry_indexes", "Bitmap indexes resident.", registry["indexes"]),
+        ):
+            kind = "counter" if name.endswith("_total") else "gauge"
+            lines += [
+                f"# HELP repro_{name} {help_text}",
+                f"# TYPE repro_{name} {kind}",
+                f"repro_{name} {value}",
+            ]
+        lines += [
+            "# HELP repro_relation_cache_hits_total Shared-cache hits per relation.",
+            "# TYPE repro_relation_cache_hits_total counter",
+        ]
+        for group, counters in cache.get("groups", {}).items():
+            lines.append(
+                f'repro_relation_cache_hits_total{{relation="{group}"}} '
+                f"{counters['hits']}"
+            )
+        lines += [
+            "# HELP repro_relation_cache_misses_total Shared-cache misses per relation.",
+            "# TYPE repro_relation_cache_misses_total counter",
+        ]
+        for group, counters in cache.get("groups", {}).items():
+            lines.append(
+                f'repro_relation_cache_misses_total{{relation="{group}"}} '
+                f"{counters['misses']}"
+            )
+        return "\n".join(lines) + "\n"
 
     def reset_metrics(self) -> None:
         """Zero the query metrics (cache contents and indexes survive)."""
@@ -340,31 +523,120 @@ class QueryEngine:
 
         return self.registry.get_or_build((relation_name, attribute), build)
 
-    def _run_one(self, relation_name: str, predicate: AttributePredicate) -> QueryResult:
+    def _source_for(self, relation_name: str, attribute: str) -> _CachedSource:
+        """The cache-routed bitmap source of one served attribute."""
+        index = self._index_for(relation_name, attribute)
+        prefix = (relation_name, attribute)
+        if self.compressed:
+            # Compressed and dense entries for the same slot must not
+            # collide in the shared cache.
+            prefix += ("wah",)
+        return _CachedSource(
+            index, self.cache, prefix, self._sleep, compressed=self.compressed
+        )
+
+    def _run_one(
+        self,
+        relation_name: str,
+        predicate: AttributePredicate,
+        options: QueryOptions = DEFAULT_OPTIONS,
+        record: bool = True,
+    ) -> QueryResult:
         start = time.perf_counter()
         try:
-            index = self._index_for(relation_name, predicate.attribute)
-            prefix = (relation_name, predicate.attribute)
-            if self.compressed:
-                # Compressed and dense entries for the same slot must not
-                # collide in the shared cache.
-                prefix += ("wah",)
-            source = _CachedSource(
-                index,
-                self.cache,
-                prefix,
-                self._sleep,
-                compressed=self.compressed,
-            )
+            trace = None
+            if options.trace:
+                trace = QueryTrace(label=str(predicate))
+                trace.event(
+                    "engine.dispatch",
+                    kind="plan",
+                    relation=relation_name,
+                    mode="predicate",
+                    access_path="bitmap",
+                    compressed=self.compressed,
+                )
+            source = self._source_for(relation_name, predicate.attribute)
             result = execute(
                 self._relations[relation_name],
                 predicate,
                 AccessPath.BITMAP,
                 index=source,
-                verify=False,
+                options=options,
+                trace=trace,
             )
         except Exception:
-            self.metrics.record_failure()
+            if record:
+                self.metrics.record_failure()
             raise
-        self.metrics.record(time.perf_counter() - start, result.stats)
+        if record:
+            self.metrics.record(
+                time.perf_counter() - start,
+                result.stats,
+                relation=relation_name,
+                access_path=result.access_path.value,
+            )
+        return result
+
+    def _run_expression(
+        self,
+        relation_name: str,
+        expression: Expression,
+        options: QueryOptions = DEFAULT_OPTIONS,
+        record: bool = True,
+    ) -> QueryResult:
+        start = time.perf_counter()
+        try:
+            relation = self._relations[relation_name]
+            stats = ExecutionStats()
+            trace = None
+            if options.trace:
+                trace = QueryTrace(label=str(expression))
+                stats.trace = trace
+                trace.event(
+                    "engine.dispatch",
+                    kind="plan",
+                    relation=relation_name,
+                    mode="expression",
+                    access_path="expression",
+                    compressed=self.compressed,
+                    attributes=sorted(expression.attributes()),
+                )
+            sources = {
+                attribute: self._source_for(relation_name, attribute)
+                for attribute in expression.attributes()
+            }
+            if trace is not None:
+                with trace.span("evaluate", kind="phase", mode="expression"):
+                    bitmap = expression.bitmap(relation, sources, stats)
+                with trace.span("materialize", kind="phase"):
+                    rids = bitmap.indices()
+            else:
+                bitmap = expression.bitmap(relation, sources, stats)
+                rids = bitmap.indices()
+            if options.verify:
+                truth = np.nonzero(expression.mask(relation))[0]
+                if not np.array_equal(rids, truth):
+                    raise VerificationError(
+                        f"expression '{expression}' returned {len(rids)} RIDs; "
+                        f"the scan found {len(truth)}"
+                    )
+            if trace is not None:
+                trace.finish()
+            result = QueryResult(
+                rids=rids,
+                access_path=AccessPath.BITMAP,
+                stats=stats,
+                trace=trace,
+            )
+        except Exception:
+            if record:
+                self.metrics.record_failure()
+            raise
+        if record:
+            self.metrics.record(
+                time.perf_counter() - start,
+                result.stats,
+                relation=relation_name,
+                access_path="expression",
+            )
         return result

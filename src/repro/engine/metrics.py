@@ -5,11 +5,22 @@ latency and :class:`~repro.stats.ExecutionStats` to one
 :class:`EngineMetrics`, which merges them under a lock so the aggregate is
 always self-consistent.  ``snapshot()`` computes the serving-side numbers
 an operator watches: query count, p50/p95/p99 latency, and the summed
-bitmap-level counters (scans, ops, bytes read, buffer hits).
+bitmap-level counters (scans, ops, bytes read, buffer hits) — globally and
+broken down per relation and per access path.  ``snapshot_text()`` renders
+the same numbers in the Prometheus text exposition format for scraping.
+
+Latencies are held in a bounded :class:`LatencyReservoir` (Algorithm R
+uniform sampling), not an ever-growing list: a long-lived serving engine
+records millions of queries, and the old unbounded list was a slow memory
+leak.  Count, sum, and max stay exact; percentiles come from the sample,
+which is the complete history until ``reservoir_size`` queries have been
+seen (the default 2048 keeps every small-scale workload bit-identical to
+the exact computation).
 """
 
 from __future__ import annotations
 
+import random
 import threading
 
 from repro.stats import ExecutionStats
@@ -25,22 +36,141 @@ def percentile(sorted_values: list[float], fraction: float) -> float:
     return sorted_values[rank]
 
 
+class LatencyReservoir:
+    """Bounded uniform sample of a latency stream (Vitter's Algorithm R).
+
+    Count, total, and max are exact regardless of how many values stream
+    through; the sample (and therefore any percentile) is exact while
+    ``count <= capacity`` and an unbiased uniform subsample afterwards.
+    Not thread-safe — :class:`EngineMetrics` serializes access.
+    """
+
+    __slots__ = ("capacity", "_sample", "count", "total", "max", "_rng")
+
+    def __init__(self, capacity: int = 2048, seed: int = 0x5EED):
+        if capacity < 1:
+            raise ValueError(f"reservoir capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._sample: list[float] = []
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+        # Seeded so snapshots are reproducible run-to-run.
+        self._rng = random.Random(seed)
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+        if len(self._sample) < self.capacity:
+            self._sample.append(value)
+            return
+        j = self._rng.randrange(self.count)
+        if j < self.capacity:
+            self._sample[j] = value
+
+    def clear(self) -> None:
+        self._sample.clear()
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def sorted_sample(self) -> list[float]:
+        return sorted(self._sample)
+
+    def __len__(self) -> int:
+        return len(self._sample)
+
+    def percentiles(self, fractions: tuple[float, ...]) -> list[float]:
+        """Percentile estimates for the given fractions (0 when empty)."""
+        ordered = self.sorted_sample()
+        if not ordered:
+            return [0.0 for _ in fractions]
+        return [percentile(ordered, f) for f in fractions]
+
+
+class _GroupAggregate:
+    """Per-label aggregate (one relation, or one access path)."""
+
+    __slots__ = ("queries", "latency_total", "scans", "ops", "bytes_read", "buffer_hits")
+
+    def __init__(self):
+        self.queries = 0
+        self.latency_total = 0.0
+        self.scans = 0
+        self.ops = 0
+        self.bytes_read = 0
+        self.buffer_hits = 0
+
+    def record(self, latency_seconds: float, stats: ExecutionStats) -> None:
+        self.queries += 1
+        self.latency_total += latency_seconds
+        self.scans += stats.scans
+        self.ops += stats.ops
+        self.bytes_read += stats.bytes_read
+        self.buffer_hits += stats.buffer_hits
+
+    def as_dict(self) -> dict:
+        return {
+            "queries": self.queries,
+            "latency_ms_mean": (
+                1e3 * self.latency_total / self.queries if self.queries else 0.0
+            ),
+            "scans": self.scans,
+            "ops": self.ops,
+            "bytes_read": self.bytes_read,
+            "buffer_hits": self.buffer_hits,
+        }
+
+
+def _prom_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
 class EngineMetrics:
     """Lock-protected aggregation of per-query latencies and stats."""
 
-    def __init__(self):
+    def __init__(self, reservoir_size: int = 2048):
         self._lock = threading.Lock()
-        self._latencies: list[float] = []
+        self._latencies = LatencyReservoir(reservoir_size)
         self._stats = ExecutionStats()
+        self._by_relation: dict[str, _GroupAggregate] = {}
+        self._by_access_path: dict[str, _GroupAggregate] = {}
         self.queries = 0
         self.failures = 0
 
-    def record(self, latency_seconds: float, stats: ExecutionStats) -> None:
-        """Fold one completed query into the aggregate."""
+    def record(
+        self,
+        latency_seconds: float,
+        stats: ExecutionStats,
+        relation: str | None = None,
+        access_path: str | None = None,
+    ) -> None:
+        """Fold one completed query into the aggregate.
+
+        ``relation`` and ``access_path`` label the query for the
+        per-relation / per-access-path breakdowns; omitted labels simply
+        skip the corresponding breakdown.
+        """
         with self._lock:
             self.queries += 1
-            self._latencies.append(latency_seconds)
+            self._latencies.add(latency_seconds)
             self._stats.merge(stats)
+            if relation is not None:
+                group = self._by_relation.get(relation)
+                if group is None:
+                    group = self._by_relation[relation] = _GroupAggregate()
+                group.record(latency_seconds, stats)
+            if access_path is not None:
+                group = self._by_access_path.get(access_path)
+                if group is None:
+                    group = self._by_access_path[access_path] = _GroupAggregate()
+                group.record(latency_seconds, stats)
 
     def record_failure(self) -> None:
         """Count a query that raised instead of completing."""
@@ -52,6 +182,8 @@ class EngineMetrics:
         with self._lock:
             self._latencies.clear()
             self._stats = ExecutionStats()
+            self._by_relation.clear()
+            self._by_access_path.clear()
             self.queries = 0
             self.failures = 0
 
@@ -64,20 +196,78 @@ class EngineMetrics:
     def snapshot(self) -> dict:
         """Aggregate metrics as a plain dict (stable keys, JSON-friendly)."""
         with self._lock:
-            latencies = sorted(self._latencies)
-            queries = self.queries
-            failures = self.failures
-            stats = self._stats.copy()
-        out = {
-            "queries": queries,
-            "failures": failures,
-            "latency_ms": {
-                "mean": 1e3 * sum(latencies) / len(latencies) if latencies else 0.0,
-                "p50": 1e3 * percentile(latencies, 0.50) if latencies else 0.0,
-                "p95": 1e3 * percentile(latencies, 0.95) if latencies else 0.0,
-                "p99": 1e3 * percentile(latencies, 0.99) if latencies else 0.0,
-                "max": 1e3 * latencies[-1] if latencies else 0.0,
-            },
-            "stats": stats.as_dict(),
-        }
+            p50, p95, p99 = self._latencies.percentiles((0.50, 0.95, 0.99))
+            latency = {
+                "mean": 1e3 * self._latencies.mean,
+                "p50": 1e3 * p50,
+                "p95": 1e3 * p95,
+                "p99": 1e3 * p99,
+                "max": 1e3 * self._latencies.max,
+            }
+            out = {
+                "queries": self.queries,
+                "failures": self.failures,
+                "latency_ms": latency,
+                "stats": self._stats.copy().as_dict(),
+                "by_relation": {
+                    name: group.as_dict()
+                    for name, group in sorted(self._by_relation.items())
+                },
+                "by_access_path": {
+                    name: group.as_dict()
+                    for name, group in sorted(self._by_access_path.items())
+                },
+            }
         return out
+
+    def snapshot_text(self) -> str:
+        """The aggregate in the Prometheus text exposition format.
+
+        Global totals are unlabeled families (``repro_queries_total``, …);
+        the per-relation and per-access-path breakdowns are separate
+        families with a ``relation=`` / ``access_path=`` label so no
+        family mixes labeled and unlabeled samples.
+        """
+        snap = self.snapshot()
+        stats = snap["stats"]
+        lines = [
+            "# HELP repro_queries_total Queries completed by the engine.",
+            "# TYPE repro_queries_total counter",
+            f"repro_queries_total {snap['queries']}",
+            "# HELP repro_query_failures_total Queries that raised.",
+            "# TYPE repro_query_failures_total counter",
+            f"repro_query_failures_total {snap['failures']}",
+            "# HELP repro_query_latency_ms Query latency percentiles (milliseconds).",
+            "# TYPE repro_query_latency_ms gauge",
+        ]
+        for key in ("p50", "p95", "p99", "mean", "max"):
+            lines.append(
+                f'repro_query_latency_ms{{quantile="{key}"}} '
+                f"{snap['latency_ms'][key]:.6f}"
+            )
+        for name, help_text in (
+            ("scans", "Bitmap scans (the paper's I/O cost metric)."),
+            ("ops", "Bitmap boolean operations (the paper's CPU cost metric)."),
+            ("bytes_read", "Bytes read by all access paths."),
+            ("buffer_hits", "Bitmap fetches served by a buffer or cache."),
+        ):
+            lines += [
+                f"# HELP repro_{name}_total {help_text}",
+                f"# TYPE repro_{name}_total counter",
+                f"repro_{name}_total {stats[name]}",
+            ]
+        for family, label, groups in (
+            ("repro_relation", "relation", snap["by_relation"]),
+            ("repro_access_path", "access_path", snap["by_access_path"]),
+        ):
+            for metric in ("queries", "scans", "ops", "bytes_read", "buffer_hits"):
+                lines += [
+                    f"# HELP {family}_{metric}_total Per-{label} {metric}.",
+                    f"# TYPE {family}_{metric}_total counter",
+                ]
+                for name, group in groups.items():
+                    lines.append(
+                        f'{family}_{metric}_total{{{label}="{_prom_label(name)}"}} '
+                        f"{group[metric]}"
+                    )
+        return "\n".join(lines) + "\n"

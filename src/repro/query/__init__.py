@@ -17,14 +17,22 @@ from repro.query.plans import (
     ridlist_crossover_selectivity,
 )
 from repro.query.executor import AccessPath, QueryResult, execute
+from repro.query.expression import Expression, parse_expression, select
+from repro.query.options import DEFAULT_OPTIONS, QueryOptions, normalize_query
 
 __all__ = [
     "AccessPath",
     "AttributePredicate",
+    "DEFAULT_OPTIONS",
+    "Expression",
     "PlanCost",
+    "QueryOptions",
     "QueryResult",
     "execute",
+    "normalize_query",
+    "parse_expression",
     "parse_predicate",
+    "select",
     "plan_p1_cost",
     "plan_p2_cost",
     "plan_p3_bitmap_cost",

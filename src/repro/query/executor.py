@@ -19,11 +19,13 @@ import numpy as np
 from repro.core.evaluation import Predicate, evaluate
 from repro.core.index import BitmapIndex, BitmapSource
 from repro.errors import InvalidPredicateError, ReproError
+from repro.query.options import UNSET, QueryOptions, resolve_options
 from repro.query.predicate import AttributePredicate
 from repro.relation.projection import ProjectionIndex
 from repro.relation.relation import Relation
 from repro.relation.rid_index import RIDListIndex
 from repro.stats import ExecutionStats
+from repro.trace import QueryTrace
 
 
 class AccessPath(enum.Enum):
@@ -37,11 +39,16 @@ class AccessPath(enum.Enum):
 
 @dataclass
 class QueryResult:
-    """RIDs satisfying a predicate plus the execution statistics."""
+    """RIDs satisfying a predicate plus the execution statistics.
+
+    ``trace`` is populated when the query ran with tracing enabled
+    (``QueryOptions(trace=True)``); otherwise ``None``.
+    """
 
     rids: np.ndarray
     access_path: AccessPath
     stats: ExecutionStats = field(default_factory=ExecutionStats)
+    trace: QueryTrace | None = None
 
     @property
     def count(self) -> int:
@@ -57,17 +64,34 @@ def execute(
     predicate: AttributePredicate,
     access_path: AccessPath = AccessPath.SCAN,
     index: BitmapSource | RIDListIndex | ProjectionIndex | None = None,
-    verify: bool = True,
+    verify=UNSET,
+    *,
+    options: QueryOptions | None = None,
+    trace: QueryTrace | None = None,
 ) -> QueryResult:
     """Evaluate ``predicate`` on ``relation`` via the chosen access path.
 
     ``index`` must match the access path: a bitmap source (built over the
     column *codes* — see :func:`bitmap_index_for`), a
-    :class:`RIDListIndex`, or a :class:`ProjectionIndex`.  With
-    ``verify=True`` (default) the result is checked against a full scan
-    and a :class:`VerificationError` raised on any disagreement.
+    :class:`RIDListIndex`, or a :class:`ProjectionIndex`.
+
+    Tuning flags live in ``options`` (a :class:`~repro.query.options.QueryOptions`);
+    the legacy ``verify=`` keyword is deprecated but keeps working.  With
+    verification on (the legacy default when no options are passed) the
+    result is checked against a full scan and a :class:`VerificationError`
+    raised on any disagreement.  ``trace`` threads an existing
+    :class:`~repro.trace.QueryTrace` through the evaluation (the engine
+    passes its own); with ``options.trace`` and no ``trace`` a fresh one
+    is created.  Either way the trace is attached to the returned
+    :class:`QueryResult`.
     """
+    options = resolve_options(
+        options, verify, default_verify=True, owner="execute()"
+    )
+    if trace is None and options.trace:
+        trace = QueryTrace(label=str(predicate))
     stats = ExecutionStats()
+    stats.trace = trace
     column = relation.column(predicate.attribute)
 
     if access_path is AccessPath.SCAN:
@@ -76,9 +100,19 @@ def execute(
     elif access_path is AccessPath.BITMAP:
         if index is None:
             raise InvalidPredicateError("bitmap access path needs an index")
-        op, code = column.code_bounds(predicate.op, predicate.value)
-        result = evaluate(index, Predicate(op, code), stats=stats)
-        rids = result.indices()
+        if trace is not None:
+            with trace.span("translate", kind="phase", attribute=predicate.attribute):
+                op, code = column.code_bounds(predicate.op, predicate.value)
+        else:
+            op, code = column.code_bounds(predicate.op, predicate.value)
+        result = evaluate(
+            index, Predicate(op, code), algorithm=options.algorithm, stats=stats
+        )
+        if trace is not None:
+            with trace.span("materialize", kind="phase"):
+                rids = result.indices()
+        else:
+            rids = result.indices()
     elif access_path is AccessPath.RID_LIST:
         if not isinstance(index, RIDListIndex):
             raise InvalidPredicateError("rid_list access path needs a RIDListIndex")
@@ -98,14 +132,22 @@ def execute(
     # Every access path above yields ascending RIDs (np.nonzero order;
     # RIDListIndex.lookup sorts internally), so no re-sort is needed here —
     # at 1M rows a redundant np.sort costs more than the evaluation itself.
-    if verify:
-        truth = relation.scan(predicate.attribute, predicate.op, predicate.value)
+    if options.verify:
+        if trace is not None:
+            with trace.span("verify", kind="phase"):
+                truth = relation.scan(
+                    predicate.attribute, predicate.op, predicate.value
+                )
+        else:
+            truth = relation.scan(predicate.attribute, predicate.op, predicate.value)
         if not np.array_equal(rids, truth):
             raise VerificationError(
                 f"{access_path.value} path returned {len(rids)} RIDs for "
                 f"'{predicate}'; the scan found {len(truth)}"
             )
-    return QueryResult(rids=rids, access_path=access_path, stats=stats)
+    if trace is not None:
+        trace.finish()
+    return QueryResult(rids=rids, access_path=access_path, stats=stats, trace=trace)
 
 
 def bitmap_index_for(

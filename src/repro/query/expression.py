@@ -28,6 +28,7 @@ from repro.bitmaps.bitvector import BitVector
 from repro.core.evaluation import OPERATORS, Predicate, evaluate
 from repro.core.index import BitmapSource
 from repro.errors import InvalidPredicateError
+from repro.query.options import UNSET, QueryOptions, resolve_options
 from repro.relation.relation import Relation
 from repro.stats import ExecutionStats
 
@@ -74,6 +75,20 @@ def _index_for(
         raise InvalidPredicateError(
             f"no bitmap index for attribute {attribute!r}"
         ) from None
+
+
+def _count_op(stats: ExecutionStats | None, op: str) -> None:
+    """Charge one connective to ``stats`` and its trace (when present)."""
+    if stats is None:
+        return
+    if op == "and":
+        stats.ands += 1
+    elif op == "or":
+        stats.ors += 1
+    else:
+        stats.nots += 1
+    if stats.trace is not None:
+        stats.trace.event(op, kind="op", layer="expression")
 
 
 @dataclass(frozen=True)
@@ -134,8 +149,7 @@ class In(Expression):
             if acc is None:
                 acc = term
             else:
-                if stats is not None:
-                    stats.ors += 1
+                _count_op(stats, "or")
                 acc = acc | term
         assert acc is not None
         return acc
@@ -170,8 +184,7 @@ class Between(Expression):
         op_hi, code_hi = column.code_bounds("<=", self.high)
         lower = evaluate(index, Predicate(op_lo, code_lo), stats=stats)
         upper = evaluate(index, Predicate(op_hi, code_hi), stats=stats)
-        if stats is not None:
-            stats.ands += 1
+        _count_op(stats, "and")
         return lower & upper
 
     def mask(self, relation):
@@ -193,8 +206,7 @@ class And(Expression):
     def bitmap(self, relation, indexes, stats=None):
         a = self.left.bitmap(relation, indexes, stats)
         b = self.right.bitmap(relation, indexes, stats)
-        if stats is not None:
-            stats.ands += 1
+        _count_op(stats, "and")
         return a & b
 
     def mask(self, relation):
@@ -215,8 +227,7 @@ class Or(Expression):
     def bitmap(self, relation, indexes, stats=None):
         a = self.left.bitmap(relation, indexes, stats)
         b = self.right.bitmap(relation, indexes, stats)
-        if stats is not None:
-            stats.ors += 1
+        _count_op(stats, "or")
         return a | b
 
     def mask(self, relation):
@@ -235,8 +246,7 @@ class Not(Expression):
 
     def bitmap(self, relation, indexes, stats=None):
         result = ~self.inner.bitmap(relation, indexes, stats)
-        if stats is not None:
-            stats.nots += 1
+        _count_op(stats, "not")
         return result
 
     def mask(self, relation):
@@ -393,9 +403,26 @@ def select(
     expression: Expression | str,
     indexes: dict[str, BitmapSource],
     stats: ExecutionStats | None = None,
-    verify: bool = True,
+    verify=UNSET,
+    *,
+    options: QueryOptions | None = None,
 ) -> np.ndarray:
-    """Evaluate an expression through bitmap indexes; returns sorted RIDs."""
+    """Evaluate an expression through bitmap indexes; returns sorted RIDs.
+
+    Tuning flags live in ``options``; the legacy ``verify=`` keyword is
+    deprecated but keeps working.  With ``options.trace`` a fresh
+    :class:`~repro.trace.QueryTrace` is attached to ``stats`` (creating
+    the stats object if needed) and left there for the caller to read.
+    """
+    opts = resolve_options(options, verify, default_verify=True, owner="select()")
+    verify = opts.verify
+    if opts.trace:
+        if stats is None:
+            stats = ExecutionStats()
+        if stats.trace is None:
+            from repro.trace import QueryTrace
+
+            stats.trace = QueryTrace(label=str(expression))
     if isinstance(expression, str):
         expression = parse_expression(expression)
     bitmap = expression.bitmap(relation, indexes, stats)

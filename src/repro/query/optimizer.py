@@ -26,6 +26,7 @@ from repro.core.evaluation import Predicate, evaluate
 from repro.core.index import BitmapSource
 from repro.errors import InvalidPredicateError
 from repro.query.executor import QueryResult, VerificationError
+from repro.query.options import UNSET, QueryOptions, resolve_options
 from repro.query.predicate import AttributePredicate
 from repro.relation.histogram import EquiDepthHistogram
 from repro.relation.relation import Relation
@@ -183,12 +184,43 @@ def execute_plan(
     predicates: list[AttributePredicate],
     catalog: Catalog,
     choice: PlanChoice | None = None,
-    verify: bool = True,
+    verify=UNSET,
+    *,
+    options: QueryOptions | None = None,
 ) -> tuple[QueryResult, PlanChoice]:
-    """Optimize (unless a choice is given), execute, and verify."""
-    if choice is None:
-        choice = choose_plan(relation, predicates, catalog)
+    """Optimize (unless a choice is given), execute, and verify.
+
+    Tuning flags live in ``options``; the legacy ``verify=`` keyword is
+    deprecated but keeps working.  With ``options.trace`` the plan
+    decision is recorded as a ``plan.choose`` span (with every
+    alternative's cost estimate) and the trace rides on the result.
+    """
+    options = resolve_options(
+        options, verify, default_verify=True, owner="execute_plan()"
+    )
     stats = ExecutionStats()
+    trace = None
+    if options.trace:
+        from repro.trace import QueryTrace
+
+        label = " and ".join(str(p) for p in predicates)
+        trace = QueryTrace(label=label)
+        stats.trace = trace
+    if choice is None:
+        if trace is not None:
+            with trace.span("plan.choose", kind="plan"):
+                choice = choose_plan(relation, predicates, catalog)
+        else:
+            choice = choose_plan(relation, predicates, catalog)
+    if trace is not None:
+        trace.event(
+            "plan.selected",
+            kind="plan",
+            plan=choice.plan,
+            estimated_bytes=choice.estimated_bytes,
+            alternatives=dict(choice.alternatives),
+            driving_attribute=choice.driving_attribute,
+        )
 
     if choice.plan == PLAN_FULL_SCAN:
         rids = _scan_all(relation, predicates)
@@ -229,8 +261,12 @@ def execute_plan(
         raise InvalidPredicateError(f"unknown plan {choice.plan!r}")
 
     rids = np.sort(np.asarray(rids))
-    if verify:
-        truth = _scan_all(relation, predicates)
+    if options.verify:
+        if trace is not None:
+            with trace.span("verify", kind="phase"):
+                truth = _scan_all(relation, predicates)
+        else:
+            truth = _scan_all(relation, predicates)
         if not np.array_equal(rids, truth):
             raise VerificationError(
                 f"plan {choice.plan} returned {len(rids)} RIDs; the scan "
@@ -238,7 +274,14 @@ def execute_plan(
             )
     from repro.query.executor import AccessPath
 
-    return QueryResult(rids=rids, access_path=AccessPath.SCAN, stats=stats), choice
+    if trace is not None:
+        trace.finish()
+    return (
+        QueryResult(
+            rids=rids, access_path=AccessPath.SCAN, stats=stats, trace=trace
+        ),
+        choice,
+    )
 
 
 def _scan_all(

@@ -1,0 +1,115 @@
+"""The unified tuning surface of the query layer.
+
+Before this module, each of the four query entry points — the verifying
+executor, the boolean expression tree, the plan optimizer, and the serving
+engine — grew its own keyword sprawl (``verify=``, ``algorithm=``,
+``workers=``, …).  :class:`QueryOptions` is the one dataclass they all
+accept; the scattered keywords keep working but are deprecated.
+
+:func:`normalize_query` is the companion piece of the unified surface: it
+turns any of the accepted query forms — an
+:class:`~repro.query.predicate.AttributePredicate`, an
+:class:`~repro.query.expression.Expression` tree, or a textual expression
+string — into the canonical object the execution paths dispatch on.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+
+from repro.errors import InvalidPredicateError
+
+
+@dataclass(frozen=True)
+class QueryOptions:
+    """Tuning flags shared by executor, optimizer, and engine.
+
+    Attributes
+    ----------
+    verify:
+        Cross-check the result against a ground-truth scan (default off —
+        the serving default; the executor's legacy call form still
+        verifies by default for backward compatibility).
+    algorithm:
+        Evaluation algorithm passed to :func:`repro.core.evaluation.evaluate`
+        (``'auto'``, ``'range_eval'``, ``'range_eval_opt'``,
+        ``'equality_eval'``, ``'interval_eval'``).
+    trace:
+        Record a :class:`~repro.trace.QueryTrace` of timed spans on the
+        result (adds per-operation overhead; leave off on the hot path).
+    workers:
+        Thread-pool width for batch entry points (``None`` = the engine's
+        configured default).
+    """
+
+    verify: bool = False
+    algorithm: str = "auto"
+    trace: bool = False
+    workers: int | None = None
+
+    def with_(self, **overrides) -> "QueryOptions":
+        """A copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+
+#: Shared default instance (options are immutable, so one is enough).
+DEFAULT_OPTIONS = QueryOptions()
+
+#: Sentinel distinguishing "keyword not passed" from an explicit value.
+UNSET = object()
+
+
+def resolve_options(
+    options: QueryOptions | None,
+    verify=UNSET,
+    *,
+    default_verify: bool = False,
+    owner: str = "this function",
+) -> QueryOptions:
+    """Merge a deprecated ``verify=`` keyword into a :class:`QueryOptions`.
+
+    Emits a :class:`DeprecationWarning` when the legacy keyword was passed
+    explicitly; an explicit keyword wins over ``options`` so existing
+    callers keep their exact behavior.
+    """
+    if verify is not UNSET:
+        warnings.warn(
+            f"the verify= keyword of {owner} is deprecated; pass "
+            f"options=QueryOptions(verify=...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    if options is None:
+        effective = default_verify if verify is UNSET else bool(verify)
+        return QueryOptions(verify=effective)
+    if verify is not UNSET:
+        return options.with_(verify=bool(verify))
+    return options
+
+
+def normalize_query(query):
+    """Canonicalize any accepted query form.
+
+    Strings are parsed with the recursive-descent expression parser; a
+    bare comparison collapses to an :class:`AttributePredicate` so it can
+    take the single-predicate fast path.  Predicate and expression objects
+    pass through unchanged.  Returns an
+    :class:`~repro.query.predicate.AttributePredicate` or an
+    :class:`~repro.query.expression.Expression`.
+    """
+    # Imported here: expression.py itself uses resolve_options, so a
+    # module-level import would be circular.
+    from repro.query.expression import Comparison, Expression, parse_expression
+    from repro.query.predicate import AttributePredicate
+
+    if isinstance(query, str):
+        query = parse_expression(query)
+    if isinstance(query, Comparison):
+        return AttributePredicate(query.attribute, query.op, query.value)
+    if isinstance(query, (AttributePredicate, Expression)):
+        return query
+    raise InvalidPredicateError(
+        f"cannot interpret {query!r} as a query; expected an "
+        f"AttributePredicate, an Expression, or a textual expression"
+    )

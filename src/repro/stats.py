@@ -10,6 +10,10 @@ evaluation; experiments aggregate over many.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.trace import QueryTrace
 
 
 @dataclass
@@ -32,6 +36,12 @@ class ExecutionStats:
         read; CS/IS schemes may serve many bitmap fetches per file scan).
     buffer_hits:
         Bitmap fetches served from the buffer pool.
+    trace:
+        Optional :class:`~repro.trace.QueryTrace` receiving per-event
+        spans from every layer the stats object passes through.  ``None``
+        (the default) is the untraced hot path: each instrumentation site
+        is gated on one attribute read.  The trace rides along one query
+        and is never merged or copied with the counters.
     """
 
     scans: int = 0
@@ -45,6 +55,7 @@ class ExecutionStats:
     buffer_hits: int = 0
     io_seconds: float = field(default=0.0, repr=False)
     cpu_seconds: float = field(default=0.0, repr=False)
+    trace: "QueryTrace | None" = field(default=None, repr=False, compare=False)
 
     @property
     def ops(self) -> int:

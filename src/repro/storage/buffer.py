@@ -142,6 +142,14 @@ class BufferPool:
                 with self._lock:
                     self.hits += 1
                 stats.buffer_hits += 1
+                if stats.trace is not None:
+                    stats.trace.event(
+                        "buffer.hit",
+                        kind="buffer",
+                        component=component,
+                        slot=slot,
+                        policy="pinned",
+                    )
                 return bitmap
             with self._lock:
                 self.misses += 1
@@ -159,6 +167,14 @@ class BufferPool:
                 self._lru.move_to_end(key)
                 self.hits += 1
                 stats.buffer_hits += 1
+                if stats.trace is not None:
+                    stats.trace.event(
+                        "buffer.hit",
+                        kind="buffer",
+                        component=component,
+                        slot=slot,
+                        policy="lru",
+                    )
                 return bitmap
             self.misses += 1
         # Fetch outside the lock so slow source reads don't serialize the

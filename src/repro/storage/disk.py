@@ -49,6 +49,14 @@ class DiskModel:
         """Era-modeled CPU seconds to inflate ``decompressed_bytes``."""
         return decompressed_bytes / self.inflate_bytes_per_second
 
+    def as_dict(self) -> dict:
+        """The model's parameters as a plain dict (for EXPLAIN reports)."""
+        return {
+            "seek_seconds": self.seek_seconds,
+            "bandwidth_bytes_per_second": self.bandwidth_bytes_per_second,
+            "inflate_bytes_per_second": self.inflate_bytes_per_second,
+        }
+
 
 @dataclass
 class DiskStats:

@@ -252,16 +252,32 @@ class StorageScheme(abc.ABC):
         cached = self._cache.get(path)
         if cached is not None:
             return cached
+        trace = stats.trace
         blob = self.disk.read(path)
         stats.files_opened += 1
         stats.bytes_read += len(blob)
+        if trace is not None:
+            trace.event(
+                "storage.read",
+                kind="fetch",
+                file=path,
+                scheme=self.kind,
+                nbytes=len(blob),
+            )
         payload, nbits, file_width, codec_name = _unframe(blob, path)
         if nbits != self.nbits or file_width != width:
             raise CorruptFileError(
                 f"{path}: geometry {nbits}x{file_width} does not match the "
                 f"manifest ({self.nbits}x{width})"
             )
-        raw = get_codec(codec_name).decode(payload)
+        if trace is not None:
+            with trace.span(
+                "decode", kind="decode", codec=codec_name, encoded=len(payload)
+            ) as span:
+                raw = get_codec(codec_name).decode(payload)
+                span.attrs["decoded"] = len(raw)
+        else:
+            raw = get_codec(codec_name).decode(payload)
         stats.decompressed_bytes += len(raw)
         matrix = _unpack_matrix(raw, nbits, width)
         self._cache[path] = matrix
@@ -290,9 +306,21 @@ class BitmapLevelStorage(StorageScheme):
         self, component: int, slot: int, stats: ExecutionStats
     ) -> BitVector | WahBitVector:
         path = self._bitmap_path(component, slot)
+        trace = stats.trace
         blob = self.disk.read(path)
         stats.record_scan(nbytes=len(blob))
         stats.files_opened += 1
+        if trace is not None:
+            trace.event(
+                "storage.read",
+                kind="fetch",
+                file=path,
+                scheme=self.kind,
+                component=component,
+                slot=slot,
+                nbytes=len(blob),
+                codec=self.codec.name,
+            )
         payload, nbits, width, codec_name = _unframe(blob, path)
         if nbits != self.nbits or width != 1:
             raise CorruptFileError(f"{path}: unexpected geometry")
@@ -302,7 +330,14 @@ class BitmapLevelStorage(StorageScheme):
             # ``decompressed_bytes`` — the defining economy of compressed
             # execution over WAH-coded storage.
             return WahBitVector(payload, self.nbits)
-        raw = get_codec(codec_name).decode(payload)
+        if trace is not None:
+            with trace.span(
+                "decode", kind="decode", codec=codec_name, encoded=len(payload)
+            ) as span:
+                raw = get_codec(codec_name).decode(payload)
+                span.attrs["decoded"] = len(raw)
+        else:
+            raw = get_codec(codec_name).decode(payload)
         stats.decompressed_bytes += len(raw)
         if len(raw) != (self.nbits + 7) // 8:
             raise CorruptFileError(f"{path}: bitmap payload length mismatch")
@@ -344,6 +379,14 @@ class ComponentLevelStorage(StorageScheme):
             self._component_path(component), len(slots), stats
         )
         stats.scans += 1
+        if stats.trace is not None:
+            stats.trace.event(
+                "scheme.extract",
+                kind="fetch",
+                scheme=self.kind,
+                component=component,
+                slot=slot,
+            )
         return self._serve(BitVector.from_bools(matrix[:, column]))
 
 
@@ -384,6 +427,14 @@ class IndexLevelStorage(StorageScheme):
         column = self._column_of(component, slot)
         matrix = self._read_matrix(self._index_path(), self._total_width(), stats)
         stats.scans += 1
+        if stats.trace is not None:
+            stats.trace.event(
+                "scheme.extract",
+                kind="fetch",
+                scheme=self.kind,
+                component=component,
+                slot=slot,
+            )
         return self._serve(BitVector.from_bools(matrix[:, column]))
 
 

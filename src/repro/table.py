@@ -52,6 +52,7 @@ from repro.query.expression import (
     parse_expression,
 )
 from repro.query.optimizer import Catalog, choose_plan, execute_plan
+from repro.query.options import QueryOptions
 from repro.query.predicate import AttributePredicate
 from repro.relation.histogram import EquiDepthHistogram
 from repro.relation.relation import Relation
@@ -186,7 +187,10 @@ class Table:
                 for c in conjuncts
             ]
             result, _ = execute_plan(
-                self.relation, predicates, self.catalog, verify=verify
+                self.relation,
+                predicates,
+                self.catalog,
+                options=QueryOptions(verify=verify),
             )
             if stats is not None:
                 stats.merge(result.stats)
@@ -204,7 +208,7 @@ class Table:
                 expression,
                 self.catalog.bitmap_indexes,
                 stats=stats,
-                verify=verify,
+                options=QueryOptions(verify=verify),
             )
         return np.nonzero(expression.mask(self.relation))[0]
 

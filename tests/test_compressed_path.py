@@ -19,6 +19,7 @@ from repro.engine.cache import SharedBitmapCache
 from repro.engine.engine import QueryEngine
 from repro.errors import BufferConfigError
 from repro.query.executor import AccessPath, bitmap_index_for, execute
+from repro.query.options import QueryOptions
 from repro.query.predicate import AttributePredicate
 from repro.relation.relation import Relation
 from repro.stats import ExecutionStats
@@ -99,7 +100,8 @@ class TestCompressedBitmapSource:
             AttributePredicate("a", "<=", 10),
             AccessPath.BITMAP,
             index=source,
-            verify=True,  # cross-checked against the ground-truth scan
+            # cross-checked against the ground-truth scan
+            options=QueryOptions(verify=True),
         )
         assert result.count == int((rel.column("a").values <= 10).sum())
 

@@ -20,6 +20,7 @@ from repro.query.expression import (
     parse_expression,
     select,
 )
+from repro.query.options import QueryOptions
 from repro.relation.relation import Relation
 from repro.stats import ExecutionStats
 
@@ -103,6 +104,102 @@ class TestParser:
         expr = parse_expression("a <= 5 and (b = 1 or b = 2)")
         again = parse_expression(str(expr))
         assert np.array_equal(again.mask(relation), expr.mask(relation))
+
+
+class TestParserCorners:
+    """Error paths and precedence corners of the recursive-descent parser."""
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "((a = 1)",            # unbalanced open
+            "(a = 1))",            # unbalanced close (trailing input)
+            "(a = 1 or (b = 2)",   # nested, one close short
+            "a = 1 and (b = 2 or", # dangling connective inside parens
+            "()",                  # empty group
+        ],
+    )
+    def test_unbalanced_parens_rejected(self, bad):
+        with pytest.raises(InvalidPredicateError):
+            parse_expression(bad)
+
+    def test_not_binds_tighter_than_and(self):
+        expr = parse_expression("not a = 1 and b = 2")
+        # (not (a=1)) and (b=2), NOT not(a=1 and b=2)
+        assert isinstance(expr, And)
+        assert isinstance(expr.left, Not)
+        assert isinstance(expr.left.inner, Comparison)
+        assert isinstance(expr.right, Comparison)
+
+    def test_not_of_group_spans_whole_disjunction(self):
+        expr = parse_expression("not (a = 1 or b = 2)")
+        assert isinstance(expr, Not)
+        assert isinstance(expr.inner, Or)
+
+    def test_not_chain_parses_inward(self):
+        expr = parse_expression("not not not a = 1")
+        assert isinstance(expr, Not)
+        assert isinstance(expr.inner, Not)
+        assert isinstance(expr.inner.inner, Not)
+        assert isinstance(expr.inner.inner.inner, Comparison)
+
+    def test_between_binds_its_own_and(self):
+        # The "and" inside BETWEEN must not be parsed as a conjunction.
+        expr = parse_expression("a between 1 and 5 and b = 2")
+        assert isinstance(expr, And)
+        assert isinstance(expr.left, Between)
+        assert expr.left.low == 1 and expr.left.high == 5
+        assert isinstance(expr.right, Comparison)
+
+    def test_between_inside_not_and_or(self, relation, indexes):
+        expr = parse_expression("not a between 5 and 25 or b = 3")
+        assert isinstance(expr, Or)
+        assert isinstance(expr.left, Not)
+        assert isinstance(expr.left.inner, Between)
+        a = relation.column("a").values
+        b = relation.column("b").values
+        truth = ~((a >= 5) & (a <= 25)) | (b == 3)
+        assert np.array_equal(expr.mask(relation), truth)
+
+    def test_in_nested_in_parenthesized_disjunction(self, relation, indexes):
+        expr = parse_expression("(b in (1, 2) or b in (5)) and a < 10")
+        assert isinstance(expr, And)
+        rids = select(
+            relation, expr, indexes, options=QueryOptions(verify=False)
+        )
+        truth = np.nonzero(expr.mask(relation))[0]
+        assert np.array_equal(rids, truth)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "a between 1 and",       # missing upper bound
+            "a between and 5",       # missing lower bound
+            "a between 1 or 5",      # wrong connective
+            "a in 1, 2",             # IN without parens
+            "a in (1 2)",            # missing comma
+            "a in (1,,2)",           # double comma
+            "not",                   # bare NOT
+            "not and a = 1",         # NOT of a connective
+        ],
+    )
+    def test_between_in_malformed_rejected(self, bad):
+        with pytest.raises(InvalidPredicateError):
+            parse_expression(bad)
+
+    def test_unknown_attribute_surfaces_on_evaluation(self, relation, indexes):
+        # Parsing is catalog-free; the unknown name fails at evaluation,
+        # naming the relation's real columns.
+        expr = parse_expression("nonexistent = 1")
+        with pytest.raises(KeyError, match="has no column 'nonexistent'"):
+            expr.mask(relation)
+        with pytest.raises(KeyError, match="columns: a, b"):
+            expr.bitmap(relation, indexes)
+
+    def test_unknown_attribute_in_one_branch(self, relation, indexes):
+        expr = parse_expression("a <= 5 and typo_column = 1")
+        with pytest.raises(KeyError, match="typo_column"):
+            select(relation, expr, indexes, options=QueryOptions(verify=False))
 
 
 class TestEvaluation:
@@ -199,6 +296,6 @@ def test_random_expressions_match_ground_truth(expr):
         "a": bitmap_index_for(relation, "a", base=Base((6, 5))),
         "b": bitmap_index_for(relation, "b"),
     }
-    rids = select(relation, expr, indexes, verify=False)
+    rids = select(relation, expr, indexes, options=QueryOptions(verify=False))
     truth = np.nonzero(expr.mask(relation))[0]
     assert np.array_equal(rids, truth)
