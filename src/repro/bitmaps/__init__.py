@@ -8,8 +8,11 @@ built on:
   (AND, OR, XOR, NOT) plus population count and (de)serialization.
 - :mod:`repro.bitmaps.compression` — pluggable bitmap codecs: the
   zlib/deflate codec used in the paper's Section 9 experiments, a
-  from-scratch Word-Aligned Hybrid (WAH) run-length codec, and an identity
-  codec.
+  from-scratch Word-Aligned Hybrid (WAH) run-length codec, a Roaring
+  container codec, and an identity codec.
+- :class:`repro.bitmaps.roaring.RoaringBitmap` — an adaptive
+  array/bitmap/run container bitmap with compressed-domain algebra, the
+  third backend behind the ``Bitmap`` seam.
 """
 
 from repro.bitmaps.bitvector import BitVector
@@ -17,19 +20,25 @@ from repro.bitmaps.compressed import WahBitVector
 from repro.bitmaps.compression import (
     Codec,
     NullCodec,
+    RoaringCodec,
     WahCodec,
     ZlibCodec,
     get_codec,
     register_codec,
 )
+from repro.bitmaps.roaring import RoaringBitmap, roaring_and_many, roaring_or_many
 
 __all__ = [
     "BitVector",
     "Codec",
     "NullCodec",
+    "RoaringBitmap",
+    "RoaringCodec",
     "WahBitVector",
     "WahCodec",
     "ZlibCodec",
     "get_codec",
     "register_codec",
+    "roaring_and_many",
+    "roaring_or_many",
 ]

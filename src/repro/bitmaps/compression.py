@@ -8,6 +8,9 @@ swap codecs; three are provided:
 - :class:`WahCodec` — a from-scratch Word-Aligned Hybrid codec
   (:mod:`repro.bitmaps.wah`), the bitmap-specific alternative used as an
   ablation.
+- :class:`RoaringCodec` — the adaptive array/bitmap/run container codec
+  (:mod:`repro.bitmaps.roaring`), strongest on uniform-random data where
+  run-length codecs degenerate.
 - :class:`NullCodec` — identity, used for the uncompressed BS/CS/IS
   storage schemes.
 
@@ -22,6 +25,7 @@ from typing import Protocol
 
 from repro.errors import CorruptFileError
 from repro.bitmaps.wah import wah_decode, wah_encode
+from repro.bitmaps.roaring import RoaringBitmap
 
 
 class Codec(Protocol):
@@ -88,6 +92,26 @@ class WahCodec:
         return wah_decode(blob)
 
 
+class RoaringCodec:
+    """Roaring container codec (see :mod:`repro.bitmaps.roaring`).
+
+    The byte payload is interpreted as a packed bitmap (bit ``i`` of the
+    input is row ``i``), partitioned into 2^16-row chunks and stored in
+    adaptive array/bitmap/run containers.
+    """
+
+    name = "roaring"
+
+    def encode(self, data: bytes) -> bytes:
+        from repro.bitmaps.bitvector import BitVector
+
+        vector = BitVector.from_bytes(data, nbits=len(data) * 8)
+        return RoaringBitmap.from_bitvector(vector).serialize()
+
+    def decode(self, blob: bytes) -> bytes:
+        return RoaringBitmap.deserialize(blob).to_bitvector().to_bytes()
+
+
 _REGISTRY: dict[str, Codec] = {}
 
 
@@ -116,3 +140,4 @@ def get_codec(name: str | Codec | None) -> Codec:
 register_codec(NullCodec())
 register_codec(ZlibCodec())
 register_codec(WahCodec())
+register_codec(RoaringCodec())

@@ -6,10 +6,20 @@ Section 6–10 machinery into one entry point: give it the attribute
 cardinality, optionally a disk-space budget (in bitmaps) and a buffer size,
 and it returns a concrete recommended design together with the rationale
 that produced it.
+
+:func:`recommend_codec` extends the guidelines beyond the paper to the
+*representation* axis: given a bitmap's expected bit density and
+clustering (mean run length of the set bits), it picks the serving codec —
+``dense``, ``wah``, or ``roaring`` — either from a measured crossover map
+(``benchmarks/bench_codec_crossover.py`` writes one; load it with
+:func:`load_crossover_map`) or from the built-in rule distilled from that
+benchmark's full-scale run.
 """
 
 from __future__ import annotations
 
+import json
+import math
 from dataclasses import dataclass
 
 from repro.core import costmodel
@@ -156,6 +166,144 @@ def recommend(
         expected_scans=scans,
         buffered_bitmaps=buffer_bitmaps,
         rationale=rationale,
+    )
+
+
+#: Codecs :func:`recommend_codec` can return.
+CODEC_CHOICES = ("dense", "wah", "roaring")
+
+#: Above this bit density, compression buys less than the 2x floor the
+#: crossover benchmark demands before leaving dense (its uniform 0.1 and
+#: 0.5 cells both sit under a 1.0 compression ratio).
+_DENSE_DENSITY = 0.05
+
+#: Set-bit runs at least this long put WAH in its run-coded regime, where
+#: payloads are smallest and op cost is proportional to runs.
+_WAH_RUN = 256
+
+
+@dataclass(frozen=True)
+class CodecChoice:
+    """A recommended bitmap representation with its rationale."""
+
+    codec: str
+    rationale: str
+    source: str  # 'builtin' rule or 'crossover_map'
+
+    def __str__(self) -> str:
+        return f"{self.codec} ({self.source}): {self.rationale}"
+
+
+def load_crossover_map(path: str) -> list[dict]:
+    """Load the winning-cell map written by ``bench_codec_crossover.py``.
+
+    Returns the list of cell dicts (each with ``density``,
+    ``effective_run``, and ``winner`` among other measurements), validated
+    so :func:`recommend_codec` can trust it.
+    """
+    with open(path) as handle:
+        payload = json.load(handle)
+    cells = payload.get("crossover_map")
+    if not isinstance(cells, list) or not cells:
+        raise OptimizationError(
+            f"{path!r} has no crossover_map; expected the output of "
+            f"benchmarks/bench_codec_crossover.py"
+        )
+    for cell in cells:
+        if not isinstance(cell, dict) or cell.get("winner") not in CODEC_CHOICES:
+            raise OptimizationError(f"malformed crossover cell {cell!r} in {path!r}")
+        for key in ("density", "effective_run"):
+            value = cell.get(key)
+            if not isinstance(value, (int, float)) or value <= 0:
+                raise OptimizationError(
+                    f"crossover cell in {path!r} has bad {key}={value!r}"
+                )
+    return cells
+
+
+def _effective_run(density: float, clustering: float | None) -> float:
+    """One numeric clustering axis covering the uniform case too.
+
+    Uniformly scattered bits still form runs of mean ``1/(1-d)``, so a
+    bitmap with no clustering structure maps onto the same axis as an
+    explicitly clustered one.
+    """
+    if clustering is not None:
+        return clustering
+    return 1.0 / max(1e-9, 1.0 - density)
+
+
+def recommend_codec(
+    density: float,
+    clustering: float | None = None,
+    crossover_map: list[dict] | None = None,
+) -> CodecChoice:
+    """Pick the serving codec for a bitmap population.
+
+    Parameters
+    ----------
+    density:
+        Expected fraction of set bits per bitmap, in ``(0, 1]``.  For a
+        C-cardinality equality-encoded index this is roughly ``1/C``;
+        range-encoded bitmaps average ``1/2``.
+    clustering:
+        Mean run length (bits) of the set bits — large for sorted or
+        chunk-loaded columns, ``None``/small for hash-distributed ones.
+    crossover_map:
+        Measured cells from :func:`load_crossover_map`; when given, the
+        nearest cell (log-scale distance over density and run length)
+        decides.  Without it a built-in rule distilled from the
+        benchmark's full-scale run applies.
+    """
+    if not 0.0 < density <= 1.0:
+        raise OptimizationError(f"density must be in (0, 1], got {density}")
+    if clustering is not None and clustering < 1.0:
+        raise OptimizationError(f"clustering must be >= 1 bit, got {clustering}")
+    run = _effective_run(density, clustering)
+
+    if crossover_map is not None:
+        target = (math.log10(density), math.log10(run))
+        best = min(
+            crossover_map,
+            key=lambda cell: (
+                (math.log10(cell["density"]) - target[0]) ** 2
+                + (math.log10(cell["effective_run"]) - target[1]) ** 2
+            ),
+        )
+        return CodecChoice(
+            codec=best["winner"],
+            rationale=(
+                f"nearest measured cell (density {best['density']}, run "
+                f"{best['effective_run']}) was won by {best['winner']}"
+            ),
+            source="crossover_map",
+        )
+
+    if run >= _WAH_RUN:
+        return CodecChoice(
+            codec="wah",
+            rationale=(
+                f"runs average {run:.0f} bits: word-aligned run-length "
+                f"coding gives the smallest payloads and run-proportional ops"
+            ),
+            source="builtin",
+        )
+    if density >= _DENSE_DENSITY:
+        return CodecChoice(
+            codec="dense",
+            rationale=(
+                f"density {density:g} with short runs compresses under "
+                f"2x; dense word-parallel ops are fastest"
+            ),
+            source="builtin",
+        )
+    return CodecChoice(
+        codec="roaring",
+        rationale=(
+            f"uniform scatter at density {density:g}: array/bitmap "
+            f"containers beat WAH's word-at-a-time loop"
+        ),
+        source="builtin",
     )
 
 

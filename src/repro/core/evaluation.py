@@ -23,13 +23,13 @@ Every algorithm takes any object implementing the
 :class:`~repro.stats.ExecutionStats` to which it charges bitmap scans
 (via ``source.fetch``) and logical operations.
 
-The algorithms are generic over the bitmap algebra: a source whose
-``compressed`` attribute is true serves
-:class:`~repro.bitmaps.compressed.WahBitVector` operands and the same
-code paths run entirely in the compressed domain, producing bit-identical
-results with identical operation counts (the virtual all-zero/all-one
-bitmaps are synthesized in the source's representation via
-:func:`_zeros`/:func:`_ones`).
+The algorithms are generic over the bitmap algebra: a source declares the
+representation it serves via its ``bitmap_codec`` attribute (``"dense"``,
+``"wah"``, or ``"roaring"``; the legacy ``compressed`` boolean implies
+``"wah"``) and the same code paths run entirely in that domain, producing
+bit-identical results with identical operation counts (the virtual
+all-zero/all-one bitmaps are synthesized in the source's representation
+via :func:`_zeros`/:func:`_ones`).
 
 Conventions shared with the paper's cost model:
 
@@ -49,14 +49,34 @@ import numpy as np
 
 from repro.bitmaps.bitvector import BitVector
 from repro.bitmaps.compressed import WahBitVector
+from repro.bitmaps.roaring import RoaringBitmap
 from repro.core.encoding import EncodingScheme
 from repro.core.index import BitmapSource
 from repro.errors import InvalidPredicateError
 from repro.stats import ExecutionStats
 
-#: Either bitmap representation; the algorithms below accept and return
+#: Any bitmap representation; the algorithms below accept and return
 #: whichever one the source serves.
-Bitmap = BitVector | WahBitVector
+Bitmap = BitVector | WahBitVector | RoaringBitmap
+
+#: Codec name -> the bitmap class that representation uses.
+BITMAP_CLASSES: dict[str, type] = {
+    "dense": BitVector,
+    "wah": WahBitVector,
+    "roaring": RoaringBitmap,
+}
+
+
+def source_codec(source: BitmapSource) -> str:
+    """The codec name a source serves (``dense``/``wah``/``roaring``).
+
+    Sources predating per-codec selection only expose the boolean
+    ``compressed`` flag, which historically meant WAH.
+    """
+    codec = getattr(source, "bitmap_codec", None)
+    if codec is not None:
+        return codec
+    return "wah" if getattr(source, "compressed", False) else "dense"
 
 #: The six comparison operators of the paper's query class.
 OPERATORS = ("<", "<=", "=", "!=", ">=", ">")
@@ -144,19 +164,22 @@ def _not(a: Bitmap, stats: ExecutionStats) -> Bitmap:
 def _or_all(vectors: list, stats: ExecutionStats) -> Bitmap:
     """OR a non-empty list of bitmaps, charging ``len - 1`` operations.
 
-    Compressed operands go through the k-way :meth:`WahBitVector.or_many`
-    run merge (one pass over the total runs instead of ``k - 1``
-    intermediate payloads); dense operands fold pairwise.  Either way the
-    charged operation count is identical, so dense and compressed
-    executions report the same :class:`ExecutionStats`.
+    Compressed operands go through their codec's k-way kernel
+    (:meth:`WahBitVector.or_many` run merge,
+    :meth:`~repro.bitmaps.roaring.RoaringBitmap.or_many` container merge —
+    one pass over the operands instead of ``k - 1`` intermediate
+    payloads); dense operands fold pairwise.  Either way the charged
+    operation count is identical, so all executions report the same
+    :class:`ExecutionStats`.
     """
     if len(vectors) == 1:
         return vectors[0]
     stats.ors += len(vectors) - 1
 
     def merge() -> Bitmap:
-        if all(isinstance(v, WahBitVector) for v in vectors):
-            return WahBitVector.or_many(vectors)
+        cls = type(vectors[0])
+        if cls is not BitVector and all(type(v) is cls for v in vectors):
+            return cls.or_many(vectors)
         acc = vectors[0]
         for v in vectors[1:]:
             acc = acc | v
@@ -172,16 +195,12 @@ def _or_all(vectors: list, stats: ExecutionStats) -> Bitmap:
 
 def _zeros(source: BitmapSource) -> Bitmap:
     """A virtual all-zero bitmap in the source's representation."""
-    if getattr(source, "compressed", False):
-        return WahBitVector.zeros(source.nbits)
-    return BitVector.zeros(source.nbits)
+    return BITMAP_CLASSES[source_codec(source)].zeros(source.nbits)
 
 
 def _ones(source: BitmapSource) -> Bitmap:
     """A virtual all-one bitmap in the source's representation."""
-    if getattr(source, "compressed", False):
-        return WahBitVector.ones(source.nbits)
-    return BitVector.ones(source.nbits)
+    return BITMAP_CLASSES[source_codec(source)].ones(source.nbits)
 
 
 def _all_rows(source: BitmapSource, stats: ExecutionStats) -> Bitmap:
@@ -717,6 +736,7 @@ def evaluate(
             op=predicate.op,
             value=predicate.value,
             encoding=source.encoding.value,
+            codec=source_codec(source),
         ):
             return func(source, predicate, stats)
     return func(source, predicate, stats)

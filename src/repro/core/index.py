@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.bitmaps.bitvector import BitVector
 from repro.bitmaps.compressed import WahBitVector
+from repro.bitmaps.roaring import RoaringBitmap
 from repro.core.decomposition import Base
 from repro.core.encoding import (
     EncodingScheme,
@@ -41,26 +42,37 @@ class BitmapSource(Protocol):
     :mod:`repro.storage.schemes` (simulated disk), and the buffer pool of
     :mod:`repro.storage.buffer`.
 
-    A source whose ``compressed`` attribute is true serves
-    :class:`~repro.bitmaps.compressed.WahBitVector` bitmaps (including
-    ``nonnull``) instead of dense :class:`BitVector` ones; the evaluation
-    algorithms are generic over the two algebras and synthesize their
-    virtual all-zero/all-one bitmaps in whichever representation the
-    source declares.
+    A source's ``bitmap_codec`` attribute names the representation it
+    serves — ``"dense"`` (:class:`BitVector`), ``"wah"``
+    (:class:`~repro.bitmaps.compressed.WahBitVector`), or ``"roaring"``
+    (:class:`~repro.bitmaps.roaring.RoaringBitmap`) — for every bitmap it
+    returns, including ``nonnull``.  The evaluation algorithms are generic
+    over the three algebras and synthesize their virtual all-zero/all-one
+    bitmaps in whichever representation the source declares.  The boolean
+    ``compressed`` flag is kept for cost-model and reporting paths that
+    only care about dense vs. compressed-domain execution.
     """
 
     nbits: int
     cardinality: int
     base: Base
     encoding: EncodingScheme
-    nonnull: BitVector | WahBitVector | None
+    nonnull: BitVector | WahBitVector | RoaringBitmap | None
     compressed: bool
+    bitmap_codec: str
 
     def fetch(
         self, component: int, slot: int, stats: ExecutionStats
-    ) -> BitVector | WahBitVector:
+    ) -> BitVector | WahBitVector | RoaringBitmap:
         """Read stored bitmap ``slot`` of ``component`` (1-based), recording a scan."""
         ...
+
+
+#: Compressed in-memory representations an index can serve, by codec name.
+_COMPRESSED_CLASSES: dict[str, type] = {
+    "wah": WahBitVector,
+    "roaring": RoaringBitmap,
+}
 
 
 class BitmapIndex:
@@ -137,9 +149,12 @@ class BitmapIndex:
         ]
         self._values = values.copy() if keep_values else None
         self._nulls = nulls.copy() if nulls is not None else None
-        # Lazily encoded WAH payloads for the compressed execution mode,
-        # keyed by (component, slot); invalidated by maintenance.
-        self._wah_bitmaps: dict[tuple[int, int], WahBitVector] = {}
+        # Lazily encoded compressed bitmaps for the compressed execution
+        # modes, keyed by (codec, component, slot); invalidated by
+        # maintenance.
+        self._encoded_bitmaps: dict[
+            tuple[str, int, int], WahBitVector | RoaringBitmap
+        ] = {}
 
     # ------------------------------------------------------------------
     # Construction from arbitrary (non-consecutive) values
@@ -203,8 +218,9 @@ class BitmapIndex:
     # ------------------------------------------------------------------
 
     #: In-memory indexes serve dense bitmaps by default; wrap with
-    #: :meth:`as_compressed` for the compressed-domain execution mode.
+    #: :meth:`as_compressed` for a compressed-domain execution mode.
     compressed = False
+    bitmap_codec = "dense"
 
     def fetch(
         self,
@@ -212,32 +228,40 @@ class BitmapIndex:
         slot: int,
         stats: ExecutionStats,
         compressed: bool = False,
-    ) -> BitVector | WahBitVector:
+        codec: str | None = None,
+    ) -> BitVector | WahBitVector | RoaringBitmap:
         """Return stored bitmap ``slot`` of ``component``, recording one scan.
 
-        With ``compressed=True`` the bitmap is served as a
-        :class:`WahBitVector` (encoded lazily on first access and memoized),
-        and the scan is charged at the compressed payload size — the bytes a
-        WAH-coded storage layer would actually move.
+        With ``codec="wah"`` or ``codec="roaring"`` the bitmap is served in
+        that compressed representation (encoded lazily on first access and
+        memoized), and the scan is charged at the compressed payload size —
+        the bytes a codec-aware storage layer would actually move.  The
+        legacy ``compressed=True`` flag is shorthand for ``codec="wah"``.
         """
+        if codec is None:
+            codec = "wah" if compressed else "dense"
         trace = stats.trace
-        if compressed:
-            key = (component, slot)
-            bitmap = self._wah_bitmaps.get(key)
+        if codec != "dense":
+            cls = _COMPRESSED_CLASSES[codec]
+            key = (codec, component, slot)
+            bitmap = self._encoded_bitmaps.get(key)
             encoded = bitmap is None
             if encoded:
                 if trace is not None:
                     with trace.span(
-                        "wah.encode", kind="decode", component=component, slot=slot
+                        f"{codec}.encode",
+                        kind="decode",
+                        component=component,
+                        slot=slot,
                     ):
-                        bitmap = WahBitVector.from_bitvector(
+                        bitmap = cls.from_bitvector(
                             self.components[component - 1].bitmap(slot)
                         )
                 else:
-                    bitmap = WahBitVector.from_bitvector(
+                    bitmap = cls.from_bitvector(
                         self.components[component - 1].bitmap(slot)
                     )
-                self._wah_bitmaps[key] = bitmap
+                self._encoded_bitmaps[key] = bitmap
             stats.record_scan(nbytes=bitmap.nbytes)
             if trace is not None:
                 trace.event(
@@ -246,7 +270,7 @@ class BitmapIndex:
                     component=component,
                     slot=slot,
                     nbytes=bitmap.nbytes,
-                    source="index.wah",
+                    source=f"index.{codec}",
                     encoded=encoded,
                 )
             return bitmap
@@ -264,15 +288,16 @@ class BitmapIndex:
             )
         return bitmap
 
-    def as_compressed(self) -> "CompressedBitmapSource":
-        """A :class:`BitmapSource` view serving WAH-compressed bitmaps.
+    def as_compressed(self, codec: str = "wah") -> "CompressedBitmapSource":
+        """A :class:`BitmapSource` view serving compressed bitmaps.
 
+        ``codec`` selects the representation (``"wah"`` or ``"roaring"``).
         The view shares this index's storage; encoded payloads are built
         lazily per slot and memoized on the index, so repeated queries pay
         the encode cost once.  Maintenance operations (:meth:`append`,
         :meth:`update`, :meth:`delete`) invalidate the memo.
         """
-        return CompressedBitmapSource(self)
+        return CompressedBitmapSource(self, codec=codec)
 
     def stored_slots(self, component: int) -> tuple[int, ...]:
         """Stored digit slots of a component (1-based component number)."""
@@ -348,7 +373,7 @@ class BitmapIndex:
             encode_values.min() < 0 or encode_values.max() >= self.cardinality
         ):
             raise ValueOutOfRangeError(f"values outside [0, {self.cardinality})")
-        self._wah_bitmaps.clear()
+        self._encoded_bitmaps.clear()
 
         if nulls is not None and self.nonnull is None:
             # Start tracking nulls: existing rows are all valid.
@@ -382,7 +407,7 @@ class BitmapIndex:
             raise ValueOutOfRangeError(f"value outside [0, {self.cardinality})")
         digits = self.base.digits(value)
         touched = 0
-        self._wah_bitmaps.clear()
+        self._encoded_bitmaps.clear()
         for i, component in enumerate(self.components):
             touched += component.set_row(rid, digits[i])
         if self.nonnull is not None and not self.nonnull.get(rid):
@@ -402,7 +427,7 @@ class BitmapIndex:
         """
         self._check_rid(rid)
         touched = 0
-        self._wah_bitmaps.clear()
+        self._encoded_bitmaps.clear()
         if self.nonnull is None:
             self.nonnull = BitVector.ones(self.nbits)
             self._nulls = np.zeros(self.nbits, dtype=bool)
@@ -460,8 +485,10 @@ class BitmapIndex:
 class CompressedBitmapSource:
     """A compressed :class:`BitmapSource` view over a :class:`BitmapIndex`.
 
-    Serves every bitmap (stored slots and ``nonnull``) as a
-    :class:`~repro.bitmaps.compressed.WahBitVector`, so the evaluation
+    Serves every bitmap (stored slots and ``nonnull``) in the compressed
+    representation named by ``codec`` —
+    :class:`~repro.bitmaps.compressed.WahBitVector` or
+    :class:`~repro.bitmaps.roaring.RoaringBitmap` — so the evaluation
     algorithms run entirely in the compressed domain.  Encoded payloads
     live in the wrapped index's memo and survive across queries; the view
     itself is a thin stateless adapter, cheap to construct per query.
@@ -469,12 +496,15 @@ class CompressedBitmapSource:
 
     compressed = True
 
-    #: Memo key for the encoded existence bitmap.  Stored slots use
-    #: 1-based component numbers, so component 0 can never collide.
-    _NONNULL_KEY = (0, 0)
-
-    def __init__(self, index: BitmapIndex):
+    def __init__(self, index: BitmapIndex, codec: str = "wah"):
+        if codec not in _COMPRESSED_CLASSES:
+            known = ", ".join(sorted(_COMPRESSED_CLASSES))
+            raise ValueError(
+                f"unknown compressed bitmap codec {codec!r}; expected one "
+                f"of: {known}"
+            )
         self._index = index
+        self.bitmap_codec = codec
 
     @property
     def nbits(self) -> int:
@@ -493,24 +523,30 @@ class CompressedBitmapSource:
         return self._index.encoding
 
     @property
-    def nonnull(self) -> WahBitVector | None:
+    def nonnull(self) -> WahBitVector | RoaringBitmap | None:
         dense = self._index.nonnull
         if dense is None:
             return None
-        memo = self._index._wah_bitmaps
-        cached = memo.get(self._NONNULL_KEY)
+        memo = self._index._encoded_bitmaps
+        # Stored slots use 1-based component numbers, so component 0 can
+        # never collide with a real slot.
+        key = (self.bitmap_codec, 0, 0)
+        cached = memo.get(key)
         if cached is None:
-            cached = WahBitVector.from_bitvector(dense)
-            memo[self._NONNULL_KEY] = cached
+            cached = _COMPRESSED_CLASSES[self.bitmap_codec].from_bitvector(dense)
+            memo[key] = cached
         return cached
 
     def fetch(
         self, component: int, slot: int, stats: ExecutionStats
-    ) -> WahBitVector:
-        return self._index.fetch(component, slot, stats, compressed=True)
+    ) -> WahBitVector | RoaringBitmap:
+        return self._index.fetch(component, slot, stats, codec=self.bitmap_codec)
 
     def stored_slots(self, component: int) -> tuple[int, ...]:
         return self._index.stored_slots(component)
 
     def __repr__(self) -> str:
-        return f"CompressedBitmapSource({self._index!r})"
+        return (
+            f"CompressedBitmapSource({self._index!r}, "
+            f"codec={self.bitmap_codec!r})"
+        )

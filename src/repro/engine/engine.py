@@ -68,12 +68,15 @@ class IndexSpec:
     ``n``-component base for whatever the cardinality turns out to be —
     the right knob when one registration covers attributes of different
     cardinalities.  With neither, the single-component base ``<C>`` is
-    used (the index default).
+    used (the index default).  ``codec`` selects this attribute's bitmap
+    representation (``'dense'``/``'wah'``/``'roaring'``); ``None`` defers
+    to the engine's default.
     """
 
     base: Base | None = None
     encoding: EncodingScheme = EncodingScheme.RANGE
     components: int | None = None
+    codec: str | None = None
 
     def resolve_base(self, cardinality: int) -> Base | None:
         if self.base is not None:
@@ -93,7 +96,7 @@ class _CachedSource:
     publishes the bitmap to the shared cache.
     """
 
-    __slots__ = ("_index", "_cache", "_prefix", "_sleep", "compressed")
+    __slots__ = ("_index", "_cache", "_prefix", "_sleep", "compressed", "bitmap_codec")
 
     def __init__(
         self,
@@ -101,13 +104,14 @@ class _CachedSource:
         cache: SharedBitmapCache,
         prefix: tuple,
         sleep_seconds_per_byte: tuple[float, float] | None,
-        compressed: bool = False,
+        codec: str = "dense",
     ):
         self._index = index
         self._cache = cache
         self._prefix = prefix
         self._sleep = sleep_seconds_per_byte
-        self.compressed = compressed
+        self.bitmap_codec = codec
+        self.compressed = codec != "dense"
 
     @property
     def nbits(self) -> int:
@@ -128,7 +132,7 @@ class _CachedSource:
     @property
     def nonnull(self):
         if self.compressed:
-            return self._index.as_compressed().nonnull
+            return self._index.as_compressed(self.bitmap_codec).nonnull
         return self._index.nonnull
 
     def fetch(self, component: int, slot: int, stats: ExecutionStats):
@@ -144,10 +148,11 @@ class _CachedSource:
                     slot=slot,
                     relation=self._prefix[0],
                     attribute=self._prefix[1],
+                    codec=self.bitmap_codec,
                 )
             return bitmap
         bitmap = self._index.fetch(
-            component, slot, stats, compressed=self.compressed
+            component, slot, stats, codec=self.bitmap_codec
         )
         if self._sleep is not None:
             seek, per_byte = self._sleep
@@ -188,10 +193,19 @@ class QueryEngine:
         evaluators run in the compressed domain, and the shared cache
         holds compressed payloads (pair with ``cache_bytes`` — compressed
         entries are far smaller, so a byte budget is the honest capacity).
+        Shorthand for ``codec="wah"``.
+    codec:
+        The engine's default bitmap representation: ``'dense'``,
+        ``'wah'``, or ``'roaring'``.  Overridable per attribute via
+        :attr:`IndexSpec.codec` and per query via
+        :attr:`~repro.query.options.QueryOptions.codec`.
     cache_bytes:
         Optional byte budget for the shared cache (see
         :class:`~repro.engine.cache.SharedBitmapCache`).
     """
+
+    #: Codecs the engine can serve.
+    CODECS = ("dense", "wah", "roaring")
 
     def __init__(
         self,
@@ -201,14 +215,22 @@ class QueryEngine:
         io_model: DiskModel | None = None,
         io_time_scale: float = 1.0,
         compressed: bool = False,
+        codec: str | None = None,
         cache_bytes: int | None = None,
     ):
         if max_workers < 1:
             raise EngineConfigError(f"max_workers must be >= 1, got {max_workers}")
         if io_time_scale < 0:
             raise EngineConfigError("io_time_scale must be >= 0")
+        if codec is None:
+            codec = "wah" if compressed else "dense"
+        if codec not in self.CODECS:
+            raise EngineConfigError(
+                f"unknown codec {codec!r}; expected one of {self.CODECS}"
+            )
         self.max_workers = max_workers
-        self.compressed = compressed
+        self.codec = codec
+        self.compressed = codec != "dense"
         self.cache = SharedBitmapCache(cache_capacity, byte_budget=cache_bytes)
         self.registry = IndexRegistry()
         self.metrics = EngineMetrics()
@@ -523,17 +545,37 @@ class QueryEngine:
 
         return self.registry.get_or_build((relation_name, attribute), build)
 
-    def _source_for(self, relation_name: str, attribute: str) -> _CachedSource:
+    def _codec_for(
+        self, relation_name: str, attribute: str, options: QueryOptions
+    ) -> str:
+        """Resolve the serving codec: query override > index spec > engine."""
+        codec = options.codec
+        if codec is None:
+            spec = self._specs.get(relation_name, {}).get(attribute)
+            codec = spec.codec if spec is not None else None
+        if codec is None:
+            codec = self.codec
+        if codec not in self.CODECS:
+            raise EngineConfigError(
+                f"unknown codec {codec!r}; expected one of {self.CODECS}"
+            )
+        return codec
+
+    def _source_for(
+        self,
+        relation_name: str,
+        attribute: str,
+        options: QueryOptions = DEFAULT_OPTIONS,
+    ) -> _CachedSource:
         """The cache-routed bitmap source of one served attribute."""
         index = self._index_for(relation_name, attribute)
+        codec = self._codec_for(relation_name, attribute, options)
         prefix = (relation_name, attribute)
-        if self.compressed:
-            # Compressed and dense entries for the same slot must not
-            # collide in the shared cache.
-            prefix += ("wah",)
-        return _CachedSource(
-            index, self.cache, prefix, self._sleep, compressed=self.compressed
-        )
+        if codec != "dense":
+            # Entries of different representations for the same slot must
+            # not collide in the shared cache.
+            prefix += (codec,)
+        return _CachedSource(index, self.cache, prefix, self._sleep, codec=codec)
 
     def _run_one(
         self,
@@ -544,6 +586,7 @@ class QueryEngine:
     ) -> QueryResult:
         start = time.perf_counter()
         try:
+            source = self._source_for(relation_name, predicate.attribute, options)
             trace = None
             if options.trace:
                 trace = QueryTrace(label=str(predicate))
@@ -553,9 +596,9 @@ class QueryEngine:
                     relation=relation_name,
                     mode="predicate",
                     access_path="bitmap",
-                    compressed=self.compressed,
+                    compressed=source.compressed,
+                    codec=source.bitmap_codec,
                 )
-            source = self._source_for(relation_name, predicate.attribute)
             result = execute(
                 self._relations[relation_name],
                 predicate,
@@ -574,6 +617,7 @@ class QueryEngine:
                 result.stats,
                 relation=relation_name,
                 access_path=result.access_path.value,
+                codec=source.bitmap_codec,
             )
         return result
 
@@ -588,6 +632,20 @@ class QueryEngine:
         try:
             relation = self._relations[relation_name]
             stats = ExecutionStats()
+            sources = {
+                attribute: self._source_for(relation_name, attribute, options)
+                for attribute in expression.attributes()
+            }
+            codecs = sorted({s.bitmap_codec for s in sources.values()})
+            if len(codecs) > 1:
+                # Bitmaps of different representations cannot be combined;
+                # fail with a configuration error instead of a downstream
+                # algebra TypeError.
+                raise EngineConfigError(
+                    f"expression '{expression}' mixes bitmap codecs "
+                    f"{codecs}; give its attributes one codec (per-query "
+                    f"options.codec overrides every spec)"
+                )
             trace = None
             if options.trace:
                 trace = QueryTrace(label=str(expression))
@@ -598,13 +656,10 @@ class QueryEngine:
                     relation=relation_name,
                     mode="expression",
                     access_path="expression",
-                    compressed=self.compressed,
+                    compressed=any(s.compressed for s in sources.values()),
+                    codec=codecs[0] if len(codecs) == 1 else ",".join(codecs),
                     attributes=sorted(expression.attributes()),
                 )
-            sources = {
-                attribute: self._source_for(relation_name, attribute)
-                for attribute in expression.attributes()
-            }
             if trace is not None:
                 with trace.span("evaluate", kind="phase", mode="expression"):
                     bitmap = expression.bitmap(relation, sources, stats)
@@ -638,5 +693,6 @@ class QueryEngine:
                 result.stats,
                 relation=relation_name,
                 access_path="expression",
+                codec=codecs[0],
             )
         return result

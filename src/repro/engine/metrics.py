@@ -6,7 +6,8 @@ latency and :class:`~repro.stats.ExecutionStats` to one
 always self-consistent.  ``snapshot()`` computes the serving-side numbers
 an operator watches: query count, p50/p95/p99 latency, and the summed
 bitmap-level counters (scans, ops, bytes read, buffer hits) — globally and
-broken down per relation and per access path.  ``snapshot_text()`` renders
+broken down per relation, per access path, and per bitmap codec.
+``snapshot_text()`` renders
 the same numbers in the Prometheus text exposition format for scraping.
 
 Latencies are held in a bounded :class:`LatencyReservoir` (Algorithm R
@@ -141,6 +142,7 @@ class EngineMetrics:
         self._stats = ExecutionStats()
         self._by_relation: dict[str, _GroupAggregate] = {}
         self._by_access_path: dict[str, _GroupAggregate] = {}
+        self._by_codec: dict[str, _GroupAggregate] = {}
         self.queries = 0
         self.failures = 0
 
@@ -150,12 +152,13 @@ class EngineMetrics:
         stats: ExecutionStats,
         relation: str | None = None,
         access_path: str | None = None,
+        codec: str | None = None,
     ) -> None:
         """Fold one completed query into the aggregate.
 
-        ``relation`` and ``access_path`` label the query for the
-        per-relation / per-access-path breakdowns; omitted labels simply
-        skip the corresponding breakdown.
+        ``relation``, ``access_path``, and ``codec`` label the query for
+        the per-relation / per-access-path / per-codec breakdowns; omitted
+        labels simply skip the corresponding breakdown.
         """
         with self._lock:
             self.queries += 1
@@ -171,6 +174,11 @@ class EngineMetrics:
                 if group is None:
                     group = self._by_access_path[access_path] = _GroupAggregate()
                 group.record(latency_seconds, stats)
+            if codec is not None:
+                group = self._by_codec.get(codec)
+                if group is None:
+                    group = self._by_codec[codec] = _GroupAggregate()
+                group.record(latency_seconds, stats)
 
     def record_failure(self) -> None:
         """Count a query that raised instead of completing."""
@@ -184,6 +192,7 @@ class EngineMetrics:
             self._stats = ExecutionStats()
             self._by_relation.clear()
             self._by_access_path.clear()
+            self._by_codec.clear()
             self.queries = 0
             self.failures = 0
 
@@ -216,6 +225,10 @@ class EngineMetrics:
                 "by_access_path": {
                     name: group.as_dict()
                     for name, group in sorted(self._by_access_path.items())
+                },
+                "by_codec": {
+                    name: group.as_dict()
+                    for name, group in sorted(self._by_codec.items())
                 },
             }
         return out
@@ -259,6 +272,7 @@ class EngineMetrics:
         for family, label, groups in (
             ("repro_relation", "relation", snap["by_relation"]),
             ("repro_access_path", "access_path", snap["by_access_path"]),
+            ("repro_codec", "codec", snap["by_codec"]),
         ):
             for metric in ("queries", "scans", "ops", "bytes_read", "buffer_hits"):
                 lines += [

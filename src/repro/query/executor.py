@@ -151,20 +151,27 @@ def execute(
 
 
 def bitmap_index_for(
-    relation: Relation, attribute: str, compressed: bool = False, **kwargs
+    relation: Relation,
+    attribute: str,
+    compressed: bool = False,
+    codec: str | None = None,
+    **kwargs,
 ) -> BitmapSource:
     """Build a bitmap index over a relation column's code domain.
 
     Keyword arguments are forwarded to :class:`BitmapIndex` (``base``,
     ``encoding``, …).  The index is built on the column's integer codes,
     matching the dictionary translation in :func:`execute`.  With
-    ``compressed=True`` the returned source serves WAH-compressed bitmaps
-    (see :meth:`BitmapIndex.as_compressed`), so :func:`execute` runs the
-    whole evaluation in the compressed domain.
+    ``compressed=True`` (or an explicit ``codec="wah"``/``"roaring"``) the
+    returned source serves compressed bitmaps (see
+    :meth:`BitmapIndex.as_compressed`), so :func:`execute` runs the whole
+    evaluation in the compressed domain.
     """
     column = relation.column(attribute)
     index = BitmapIndex(column.codes, cardinality=column.cardinality, **kwargs)
-    return index.as_compressed() if compressed else index
+    if codec is None:
+        codec = "wah" if compressed else "dense"
+    return index if codec == "dense" else index.as_compressed(codec)
 
 
 def conjunctive_select(

@@ -41,12 +41,17 @@ class QueryOptions:
     workers:
         Thread-pool width for batch entry points (``None`` = the engine's
         configured default).
+    codec:
+        Bitmap representation the query runs over (``'dense'``, ``'wah'``,
+        or ``'roaring'``).  ``None`` defers to the per-index spec and then
+        the engine's configured default codec.
     """
 
     verify: bool = False
     algorithm: str = "auto"
     trace: bool = False
     workers: int | None = None
+    codec: str | None = None
 
     def with_(self, **overrides) -> "QueryOptions":
         """A copy with the given fields replaced."""

@@ -79,6 +79,9 @@ class BufferPool:
         # compressed bitmaps keep the pool's memory footprint proportional
         # to compressed (not dense) size.
         self.compressed = getattr(source, "compressed", False)
+        self.bitmap_codec = getattr(
+            source, "bitmap_codec", "wah" if self.compressed else "dense"
+        )
         self.hits = 0
         self.misses = 0
         self._lock = threading.Lock()

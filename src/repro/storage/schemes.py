@@ -37,6 +37,7 @@ import numpy as np
 from repro.bitmaps.bitvector import BitVector
 from repro.bitmaps.compressed import WahBitVector
 from repro.bitmaps.compression import Codec, get_codec
+from repro.bitmaps.roaring import RoaringBitmap
 from repro.core.decomposition import Base
 from repro.core.encoding import EncodingScheme, stored_bitmap_count
 from repro.core.index import BitmapIndex
@@ -102,16 +103,42 @@ def _unframe(blob: bytes, path: str) -> tuple[bytes, int, int, str]:
     return payload, nbits, width, codec_raw.rstrip(b"\0").decode("ascii")
 
 
+#: Compressed serving representations, by codec name.
+_SERVE_CLASSES: dict[str, type] = {
+    "wah": WahBitVector,
+    "roaring": RoaringBitmap,
+}
+
+
+def _normalize_serving(compressed: bool | str) -> str:
+    """Resolve a ``compressed=`` argument to a serving-codec name.
+
+    Accepts the legacy booleans (``True`` means WAH, the original
+    compressed execution mode) or an explicit codec name
+    (``"dense"``/``"wah"``/``"roaring"``).
+    """
+    if compressed is False:
+        return "dense"
+    if compressed is True:
+        return "wah"
+    if compressed == "dense" or compressed in _SERVE_CLASSES:
+        return compressed
+    known = ", ".join(["dense", *sorted(_SERVE_CLASSES)])
+    raise StorageError(
+        f"unknown serving codec {compressed!r}; expected one of: {known}"
+    )
+
+
 class StorageScheme(abc.ABC):
     """Common machinery of the three physical organizations.
 
-    With ``compressed=True`` the scheme serves
-    :class:`~repro.bitmaps.compressed.WahBitVector` bitmaps (the
-    compressed execution mode of :mod:`repro.core.evaluation`).  When the
-    file codec is already WAH, :class:`BitmapLevelStorage` hands the
-    stored payload out *without decoding* — the whole read path stays in
-    the compressed domain; other codecs and the row-major schemes decode
-    and re-encode, which still lets downstream operations run compressed.
+    With ``compressed=True`` (or a codec name, ``"wah"``/``"roaring"``)
+    the scheme serves compressed bitmaps — the compressed execution modes
+    of :mod:`repro.core.evaluation`.  When the file codec matches the
+    serving codec, :class:`BitmapLevelStorage` hands the stored payload
+    out *without decoding* — the whole read path stays in the compressed
+    domain; other codecs and the row-major schemes decode and re-encode,
+    which still lets downstream operations run compressed.
     """
 
     kind: str
@@ -126,7 +153,7 @@ class StorageScheme(abc.ABC):
         cardinality: int,
         codec: Codec,
         nonnull: BitVector | None = None,
-        compressed: bool = False,
+        compressed: bool | str = False,
     ):
         self.disk = disk
         self.name = name
@@ -136,25 +163,28 @@ class StorageScheme(abc.ABC):
         self.cardinality = cardinality
         self.codec = codec
         self._nonnull = nonnull
-        self._nonnull_wah: WahBitVector | None = None
-        self.compressed = compressed
+        self._nonnull_compressed: WahBitVector | RoaringBitmap | None = None
+        self.bitmap_codec = _normalize_serving(compressed)
+        self.compressed = self.bitmap_codec != "dense"
         self._cache: dict[str, np.ndarray] = {}
 
     @property
-    def nonnull(self) -> BitVector | WahBitVector | None:
+    def nonnull(self) -> BitVector | WahBitVector | RoaringBitmap | None:
         """The existence bitmap, in the representation the scheme serves."""
         if self._nonnull is None:
             return None
         if self.compressed:
-            if self._nonnull_wah is None:
-                self._nonnull_wah = WahBitVector.from_bitvector(self._nonnull)
-            return self._nonnull_wah
+            if self._nonnull_compressed is None:
+                self._nonnull_compressed = _SERVE_CLASSES[
+                    self.bitmap_codec
+                ].from_bitvector(self._nonnull)
+            return self._nonnull_compressed
         return self._nonnull
 
-    def _serve(self, bitmap: BitVector) -> BitVector | WahBitVector:
+    def _serve(self, bitmap: BitVector) -> BitVector | WahBitVector | RoaringBitmap:
         """Convert a decoded bitmap to the representation being served."""
         if self.compressed:
-            return WahBitVector.from_bitvector(bitmap)
+            return _SERVE_CLASSES[self.bitmap_codec].from_bitvector(bitmap)
         return bitmap
 
     # ------------------------------------------------------------------
@@ -213,7 +243,7 @@ class StorageScheme(abc.ABC):
     @abc.abstractmethod
     def fetch(
         self, component: int, slot: int, stats: ExecutionStats
-    ) -> BitVector | WahBitVector:
+    ) -> BitVector | WahBitVector | RoaringBitmap:
         """Read stored bitmap ``slot`` of ``component`` from disk."""
 
     def reset_cache(self) -> None:
@@ -293,10 +323,19 @@ class BitmapLevelStorage(StorageScheme):
         return f"{self.name}/c{component}_s{slot}"
 
     def _write_payload(self, index: BitmapIndex) -> None:
+        roaring = self.codec.name == "roaring"
         for i in range(1, self.base.n + 1):
             comp = index.components[i - 1]
             for slot in comp.stored_slots():
-                data = self.codec.encode(comp.bitmap(slot).to_bytes())
+                bitmap = comp.bitmap(slot)
+                if roaring:
+                    # Serialize at the exact bit length (the byte-stream
+                    # codec API would round nbits up to a whole byte),
+                    # so the compressed-serving read path can hand the
+                    # payload out as-is.
+                    data = RoaringBitmap.from_bitvector(bitmap).serialize()
+                else:
+                    data = self.codec.encode(bitmap.to_bytes())
                 self.disk.write(
                     self._bitmap_path(i, slot),
                     _frame(data, self.nbits, 1, self.codec),
@@ -304,7 +343,7 @@ class BitmapLevelStorage(StorageScheme):
 
     def fetch(
         self, component: int, slot: int, stats: ExecutionStats
-    ) -> BitVector | WahBitVector:
+    ) -> BitVector | WahBitVector | RoaringBitmap:
         path = self._bitmap_path(component, slot)
         trace = stats.trace
         blob = self.disk.read(path)
@@ -324,12 +363,20 @@ class BitmapLevelStorage(StorageScheme):
         payload, nbits, width, codec_name = _unframe(blob, path)
         if nbits != self.nbits or width != 1:
             raise CorruptFileError(f"{path}: unexpected geometry")
-        if self.compressed and codec_name == "wah":
-            # The stored payload already *is* the WahBitVector wire format:
-            # serve it as-is.  No decode, so nothing is charged to
-            # ``decompressed_bytes`` — the defining economy of compressed
-            # execution over WAH-coded storage.
-            return WahBitVector(payload, self.nbits)
+        if self.compressed and codec_name == self.bitmap_codec:
+            # The stored payload already *is* the serving representation's
+            # wire format: serve it as-is.  No decode, so nothing is
+            # charged to ``decompressed_bytes`` — the defining economy of
+            # compressed execution over codec-matched storage.
+            if codec_name == "wah":
+                return WahBitVector(payload, self.nbits)
+            bitmap = RoaringBitmap.deserialize(payload)
+            if bitmap.nbits != self.nbits:
+                raise CorruptFileError(
+                    f"{path}: roaring payload is {bitmap.nbits} bits; "
+                    f"expected {self.nbits}"
+                )
+            return bitmap
         if trace is not None:
             with trace.span(
                 "decode", kind="decode", codec=codec_name, encoded=len(payload)
@@ -367,7 +414,7 @@ class ComponentLevelStorage(StorageScheme):
 
     def fetch(
         self, component: int, slot: int, stats: ExecutionStats
-    ) -> BitVector | WahBitVector:
+    ) -> BitVector | WahBitVector | RoaringBitmap:
         slots = self._slot_layout(component)
         try:
             column = slots.index(slot)
@@ -423,7 +470,7 @@ class IndexLevelStorage(StorageScheme):
 
     def fetch(
         self, component: int, slot: int, stats: ExecutionStats
-    ) -> BitVector | WahBitVector:
+    ) -> BitVector | WahBitVector | RoaringBitmap:
         column = self._column_of(component, slot)
         matrix = self._read_matrix(self._index_path(), self._total_width(), stats)
         stats.scans += 1
@@ -476,13 +523,15 @@ def write_index(
 
 
 def open_scheme(
-    disk: SimulatedDisk, name: str, compressed: bool = False
+    disk: SimulatedDisk, name: str, compressed: bool | str = False
 ) -> StorageScheme:
     """Re-open a previously written index from its manifest.
 
-    ``compressed=True`` opens the scheme in compressed-serving mode: every
-    fetched bitmap is a :class:`~repro.bitmaps.compressed.WahBitVector`
-    (for a WAH-coded BS index, served without decoding).
+    ``compressed=True`` (or ``compressed="wah"``/``"roaring"``) opens the
+    scheme in compressed-serving mode: every fetched bitmap is a
+    :class:`~repro.bitmaps.compressed.WahBitVector` or
+    :class:`~repro.bitmaps.roaring.RoaringBitmap` (for a BS index whose
+    file codec matches, served without decoding).
     """
     try:
         manifest = json.loads(disk.read(f"{name}/manifest"))

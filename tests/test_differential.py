@@ -16,6 +16,7 @@ import numpy as np
 import pytest
 
 from repro.bitmaps.compressed import WahBitVector
+from repro.bitmaps.roaring import RoaringBitmap
 from repro.core.decomposition import Base, integer_nth_root_ceil
 from repro.core.encoding import EncodingScheme
 from repro.core.evaluation import (
@@ -27,6 +28,9 @@ from repro.core.evaluation import (
 )
 from repro.core.index import BitmapIndex
 from repro.stats import ExecutionStats
+from repro.storage.disk import SimulatedDisk
+from repro.storage.schemes import open_scheme, write_index
+from repro.workloads.generators import clustered_values, uniform_values, zipf_values
 
 NUM_ROWS = 400
 CARDINALITIES = [7, 24, 60]
@@ -92,14 +96,24 @@ def test_evaluate_matches_naive_scan(cardinality, base, encoding, seed):
             )
 
 
+#: The compressed serving codecs differentially checked against dense.
+COMPRESSED_CODECS = {"wah": WahBitVector, "roaring": RoaringBitmap}
+
+
+def _op_counts(stats: ExecutionStats) -> tuple[int, int, int, int, int]:
+    return (stats.ands, stats.ors, stats.xors, stats.nots, stats.scans)
+
+
+@pytest.mark.parametrize("codec", sorted(COMPRESSED_CODECS))
 @pytest.mark.parametrize("cardinality,base,encoding,seed", list(cases()))
-def test_compressed_path_matches_dense(cardinality, base, encoding, seed):
+def test_compressed_path_matches_dense(cardinality, base, encoding, seed, codec):
     """Compressed-domain execution is observationally identical to dense.
 
-    Same random base x encoding sweep as the naive-scan differential:
-    the compressed source must return bit-identical RIDs *and* charge the
-    exact same operation counts (the evaluators share one code path over
-    both algebras, so any divergence is a genericization bug).
+    Same random base x encoding sweep as the naive-scan differential, once
+    per compressed codec: the compressed source must return bit-identical
+    RIDs *and* charge the exact same operation counts (the evaluators
+    share one code path over all three algebras, so any divergence is a
+    genericization bug).
     """
     rng = np.random.default_rng(seed)
     values = rng.integers(0, cardinality, NUM_ROWS)
@@ -108,34 +122,22 @@ def test_compressed_path_matches_dense(cardinality, base, encoding, seed):
     index = BitmapIndex(
         values, cardinality, base=base, encoding=encoding, nulls=nulls
     )
-    compressed = index.as_compressed()
+    compressed = index.as_compressed(codec)
     for op in OPERATORS:
         for v in boundary_values(cardinality, rng):
             predicate = Predicate(op, v)
             dense_stats, comp_stats = ExecutionStats(), ExecutionStats()
             dense = evaluate(index, predicate, stats=dense_stats)
             comp = evaluate(compressed, predicate, stats=comp_stats)
-            assert isinstance(comp, WahBitVector)
+            assert isinstance(comp, COMPRESSED_CODECS[codec])
+            assert comp.count() == dense.count()
             assert np.array_equal(dense.indices(), comp.indices()), (
-                f"{encoding.value} base={base}: RIDs diverge on A {op} {v}"
+                f"{encoding.value} base={base} {codec}: RIDs diverge on A {op} {v}"
             )
-            dense_ops = (
-                dense_stats.ands,
-                dense_stats.ors,
-                dense_stats.xors,
-                dense_stats.nots,
-                dense_stats.scans,
-            )
-            comp_ops = (
-                comp_stats.ands,
-                comp_stats.ors,
-                comp_stats.xors,
-                comp_stats.nots,
-                comp_stats.scans,
-            )
-            assert dense_ops == comp_ops, (
-                f"{encoding.value} base={base}: op counts diverge on "
-                f"A {op} {v}: dense={dense_ops} compressed={comp_ops}"
+            assert _op_counts(dense_stats) == _op_counts(comp_stats), (
+                f"{encoding.value} base={base} {codec}: op counts diverge on "
+                f"A {op} {v}: dense={_op_counts(dense_stats)} "
+                f"compressed={_op_counts(comp_stats)}"
             )
 
 
@@ -169,6 +171,169 @@ def test_nulls_masked_out(encoding):
             got = evaluate(index, predicate).to_bools()
             expected = predicate.matches(values) & ~nulls
             assert np.array_equal(got, expected), f"{encoding.value} A {op} {v}"
+
+
+# ----------------------------------------------------------------------
+# Three-way dense / WAH / Roaring differential harness
+# ----------------------------------------------------------------------
+
+#: Workload generators the three-way harness sweeps (name -> factory).
+WORKLOADS = {
+    "uniform": lambda n, c, seed: uniform_values(n, c, seed=seed),
+    "zipf": lambda n, c, seed: zipf_values(n, c, skew=1.2, seed=seed),
+    "clustered": lambda n, c, seed: clustered_values(n, c, run_length=40, seed=seed),
+}
+
+
+def _three_way_sources(index: BitmapIndex) -> dict:
+    return {
+        "dense": index,
+        "wah": index.as_compressed("wah"),
+        "roaring": index.as_compressed("roaring"),
+    }
+
+
+def _assert_three_way_agree(index: BitmapIndex, predicates, label: str) -> None:
+    """All three codecs return identical RIDs, popcounts, and op counts."""
+    sources = _three_way_sources(index)
+    for predicate in predicates:
+        results, ops = {}, {}
+        for codec, source in sources.items():
+            stats = ExecutionStats()
+            out = evaluate(source, predicate, stats=stats)
+            results[codec] = out
+            ops[codec] = _op_counts(stats)
+        dense = results["dense"]
+        for codec in ("wah", "roaring"):
+            assert results[codec].count() == dense.count(), (
+                f"{label}: {codec} popcount diverges on {predicate}"
+            )
+            assert np.array_equal(results[codec].indices(), dense.indices()), (
+                f"{label}: {codec} RIDs diverge on {predicate}"
+            )
+            assert ops[codec] == ops["dense"], (
+                f"{label}: {codec} op counts diverge on {predicate}: "
+                f"{ops[codec]} != {ops['dense']}"
+            )
+
+
+@pytest.mark.parametrize("encoding", ENCODINGS)
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_three_way_over_workloads(workload, encoding):
+    """Dense/WAH/Roaring agree on every generated workload x encoding."""
+    cardinality = 24
+    values = WORKLOADS[workload](NUM_ROWS, cardinality, 7)
+    rng = np.random.default_rng(101)
+    index = BitmapIndex(
+        values, cardinality, base=Base((5, 5)), encoding=encoding
+    )
+    predicates = [
+        Predicate(op, v)
+        for op in OPERATORS
+        for v in boundary_values(cardinality, rng)
+    ]
+    _assert_three_way_agree(index, predicates, f"{workload}/{encoding.value}")
+
+
+@pytest.mark.parametrize("algorithm", ["range_eval", "range_eval_opt"])
+def test_three_way_per_evaluator(algorithm):
+    """Both range evaluators stay three-way identical, not just 'auto'."""
+    values = uniform_values(NUM_ROWS, 60, seed=3)
+    index = BitmapIndex(values, 60, base=Base((4, 4, 4)))
+    sources = _three_way_sources(index)
+    rng = np.random.default_rng(11)
+    for op in OPERATORS:
+        for v in boundary_values(60, rng):
+            outs = {
+                codec: evaluate(source, Predicate(op, v), algorithm=algorithm)
+                for codec, source in sources.items()
+            }
+            for codec in ("wah", "roaring"):
+                assert np.array_equal(
+                    outs[codec].indices(), outs["dense"].indices()
+                ), f"{algorithm}/{codec} diverges on A {op} {v}"
+
+
+@pytest.mark.parametrize("scheme", ["BS", "CS", "IS"])
+@pytest.mark.parametrize("file_codec", [None, "wah", "roaring"])
+def test_three_way_over_storage_schemes(scheme, file_codec):
+    """Every stored scheme serves identical results under all three codecs.
+
+    Sweeps the file codec too, so the zero-decode fast paths (wah file
+    served as WAH, roaring file served as Roaring) are differentially
+    pinned against the decode-and-reencode paths.
+    """
+    cardinality = 24
+    values = clustered_values(NUM_ROWS, cardinality, run_length=25, seed=13)
+    index = BitmapIndex(values, cardinality, base=Base((5, 5)))
+    disk = SimulatedDisk()
+    write_index(disk, "t.a", index, scheme=scheme, codec=file_codec)
+    rng = np.random.default_rng(17)
+    predicates = [
+        Predicate(op, v)
+        for op in OPERATORS
+        for v in boundary_values(cardinality, rng)
+    ]
+    baseline = {
+        str(p): evaluate(index, p).indices() for p in predicates
+    }
+    for serving in ("dense", "wah", "roaring"):
+        reader = open_scheme(disk, "t.a", compressed=serving)
+        for predicate in predicates:
+            got = evaluate(reader, predicate)
+            assert np.array_equal(got.indices(), baseline[str(predicate)]), (
+                f"{scheme}/{file_codec or 'raw'} served as {serving} "
+                f"diverges on {predicate}"
+            )
+            reader.reset_cache()
+
+
+@pytest.mark.parametrize("encoding", ENCODINGS)
+def test_three_way_after_maintenance(encoding):
+    """Insert/update/delete invalidate every codec's memo identically.
+
+    The compressed views memoize encoded bitmaps; a maintenance write that
+    failed to clear one codec's memo would silently serve stale results —
+    exactly the divergence a three-way re-query catches.
+    """
+    cardinality = 24
+    values = uniform_values(NUM_ROWS, cardinality, seed=23)
+    index = BitmapIndex(values, cardinality, base=Base((5, 5)), encoding=encoding)
+    rng = np.random.default_rng(29)
+    predicates = [
+        Predicate(op, v)
+        for op in OPERATORS
+        for v in (0, 7, cardinality - 1)
+    ]
+    # Query once through every codec to populate the encoded memos.
+    _assert_three_way_agree(index, predicates, f"pre-maintenance/{encoding.value}")
+
+    index.append(rng.integers(0, cardinality, 50))
+    _assert_three_way_agree(index, predicates, f"post-append/{encoding.value}")
+
+    for rid in (0, 5, NUM_ROWS + 10):
+        index.update(rid, int(rng.integers(0, cardinality)))
+    _assert_three_way_agree(index, predicates, f"post-update/{encoding.value}")
+
+    for rid in (1, 17, NUM_ROWS + 3):
+        index.delete(rid)
+    _assert_three_way_agree(index, predicates, f"post-delete/{encoding.value}")
+
+
+def test_three_way_under_query_skew():
+    """Skewed query constants (hot values, boundaries) stay three-way equal."""
+    cardinality = 60
+    values = zipf_values(NUM_ROWS, cardinality, skew=1.5, seed=31)
+    index = BitmapIndex(values, cardinality, base=Base((8, 8)))
+    rng = np.random.default_rng(37)
+    # Zipf-skewed constants concentrate on the same hot small values the
+    # data does, plus the exact boundary codes.
+    hot = np.minimum(
+        rng.zipf(1.6, size=12) - 1, cardinality - 1
+    ).astype(np.int64)
+    constants = sorted({0, cardinality - 1, *[int(v) for v in hot]})
+    predicates = [Predicate(op, v) for op in OPERATORS for v in constants]
+    _assert_three_way_agree(index, predicates, "query-skew")
 
 
 @pytest.mark.parametrize("cardinality", CARDINALITIES)
