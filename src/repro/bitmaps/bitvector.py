@@ -141,6 +141,16 @@ class BitVector:
         """Serialized size in bytes (``ceil(nbits / 8)``)."""
         return (self._nbits + 7) // 8
 
+    @property
+    def words(self) -> np.ndarray:
+        """The backing ``uint64`` word array (not a copy; tail bits zero).
+
+        Unlike :meth:`to_bytes` this is word-aligned — ``len(words) * 8``
+        bytes — which is what shared-memory publication needs so attached
+        processes can reconstruct zero-copy views at 8-byte offsets.
+        """
+        return self._words
+
     def get(self, i: int) -> bool:
         """Return bit ``i``."""
         self._check_index(i)

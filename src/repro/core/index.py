@@ -149,6 +149,10 @@ class BitmapIndex:
         ]
         self._values = values.copy() if keep_values else None
         self._nulls = nulls.copy() if nulls is not None else None
+        # Bumped by every maintenance operation; consumers holding derived
+        # artifacts (shared-memory publications, serialized snapshots)
+        # compare versions to detect staleness.
+        self.version = 0
         # Lazily encoded compressed bitmaps for the compressed execution
         # modes, keyed by (codec, component, slot); invalidated by
         # maintenance.
@@ -374,11 +378,11 @@ class BitmapIndex:
         ):
             raise ValueOutOfRangeError(f"values outside [0, {self.cardinality})")
         self._encoded_bitmaps.clear()
+        self.version += 1
 
         if nulls is not None and self.nonnull is None:
             # Start tracking nulls: existing rows are all valid.
-            self.nonnull = BitVector.ones(self.nbits)
-            self._nulls = np.zeros(self.nbits, dtype=bool)
+            self.track_nulls()
         digit_columns = self.base.digit_arrays(encode_values)
         for i, component in enumerate(self.components):
             component.append_rows(digit_columns[i])
@@ -408,6 +412,7 @@ class BitmapIndex:
         digits = self.base.digits(value)
         touched = 0
         self._encoded_bitmaps.clear()
+        self.version += 1
         for i, component in enumerate(self.components):
             touched += component.set_row(rid, digits[i])
         if self.nonnull is not None and not self.nonnull.get(rid):
@@ -428,9 +433,9 @@ class BitmapIndex:
         self._check_rid(rid)
         touched = 0
         self._encoded_bitmaps.clear()
+        self.version += 1
         if self.nonnull is None:
-            self.nonnull = BitVector.ones(self.nbits)
-            self._nulls = np.zeros(self.nbits, dtype=bool)
+            self.track_nulls()
             touched += 1
         if self.nonnull.get(rid):
             self.nonnull.set(rid, False)
@@ -438,6 +443,23 @@ class BitmapIndex:
         if self._nulls is not None:
             self._nulls[rid] = True
         return touched
+
+    def track_nulls(self) -> bool:
+        """Materialize the existence bitmap ``B_nn`` (all rows valid).
+
+        A no-op when the index already tracks nulls.  Sharded execution
+        uses this to keep null tracking uniform across shards: the
+        evaluators add a ``B_nn`` mask AND only when ``nonnull`` is
+        present, so one shard materializing it (e.g. on a delete) must
+        drag the others along or per-shard operation counts diverge.
+        Returns ``True`` when the bitmap was materialized by this call.
+        """
+        if self.nonnull is not None:
+            return False
+        self.nonnull = BitVector.ones(self.nbits)
+        self._nulls = np.zeros(self.nbits, dtype=bool)
+        self.version += 1
+        return True
 
     def _check_rid(self, rid: int) -> None:
         if not 0 <= rid < self.nbits:

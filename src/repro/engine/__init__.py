@@ -8,19 +8,33 @@ from repro.engine.cache import SharedBitmapCache
 from repro.engine.engine import IndexSpec, QueryEngine
 from repro.engine.metrics import EngineMetrics, LatencyReservoir, percentile
 from repro.engine.registry import IndexRegistry
+from repro.engine.sharding import (
+    BACKENDS,
+    ProcessShardExecutor,
+    ShardedBitmapIndex,
+    ShardExport,
+    merge_shard_rids,
+    shard_bounds,
+)
 from repro.query.options import QueryOptions
 from repro.trace import ExplainReport, QueryTrace, explain
 
 __all__ = [
+    "BACKENDS",
     "EngineMetrics",
     "ExplainReport",
     "IndexRegistry",
     "IndexSpec",
     "LatencyReservoir",
+    "ProcessShardExecutor",
     "QueryEngine",
     "QueryOptions",
     "QueryTrace",
+    "ShardExport",
+    "ShardedBitmapIndex",
     "SharedBitmapCache",
     "explain",
+    "merge_shard_rids",
     "percentile",
+    "shard_bounds",
 ]

@@ -131,6 +131,23 @@ class SharedBitmapCache:
             return True
         return self.byte_budget is not None and self.bytes_cached > self.byte_budget
 
+    def drop_group(self, group: str) -> int:
+        """Evict every entry of one group (relation); returns how many.
+
+        The engine's invalidation path: after a registered relation's
+        data changes, its cached bitmaps are stale and must go, while
+        entries of other relations stay resident.  Dropped entries count
+        as evictions; the group's hit/miss history is preserved.
+        """
+        with self._lock:
+            doomed = [
+                key for key in self._entries if self._group_of(key) == group
+            ]
+            for key in doomed:
+                self.bytes_cached -= self._entries.pop(key).nbytes
+                self.evictions += 1
+            return len(doomed)
+
     def clear(self) -> None:
         """Drop every cached bitmap and reset the counters."""
         with self._lock:

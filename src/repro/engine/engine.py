@@ -22,15 +22,21 @@ pay a ground-truth scan per query; correctness is pinned by the
 differential and concurrency test suites instead.  Pass
 ``QueryOptions(verify=True)`` to opt in.
 
-Why threads help: the AND/OR/NOT hot path runs inside numpy, which releases
-the GIL on large arrays, and (when the engine is configured with an
-:class:`~repro.storage.disk.DiskModel`) cache-miss I/O waits are simulated
-with real sleeps that concurrent workers overlap, exactly as a disk-backed
-deployment overlaps seeks.
+Execution backends: batches run on one of three pluggable backends
+(``QueryEngine(backend=...)`` or per call via
+:attr:`~repro.query.options.QueryOptions.backend`).  ``inline`` evaluates
+sequentially on the calling thread; ``threads`` uses a persistent
+thread pool — enough when workers overlap modeled I/O waits or numpy
+releases the GIL, but CPU-bound batches serialize on the interpreter;
+``processes`` escapes the GIL entirely by partitioning each relation into
+row-range shards (:mod:`repro.engine.sharding`), publishing the shard
+bitmaps to shared memory once, and evaluating every batch across a
+persistent process pool, merging per-shard RIDs by offset concatenation.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -43,6 +49,14 @@ from repro.core.index import BitmapIndex
 from repro.engine.cache import SharedBitmapCache
 from repro.engine.metrics import EngineMetrics
 from repro.engine.registry import IndexRegistry
+from repro.engine.sharding import (
+    BACKENDS,
+    ProcessShardExecutor,
+    ShardedBitmapIndex,
+    ShardExport,
+    ShardQueryOutcome,
+    translate_expression,
+)
 from repro.errors import EngineConfigError
 from repro.query.executor import (
     AccessPath,
@@ -202,6 +216,23 @@ class QueryEngine:
     cache_bytes:
         Optional byte budget for the shared cache (see
         :class:`~repro.engine.cache.SharedBitmapCache`).
+    backend:
+        Default execution backend for queries: ``'inline'``,
+        ``'threads'`` (default), or ``'processes'``.  Overridable per
+        query via :attr:`~repro.query.options.QueryOptions.backend`.
+    shards:
+        Default row-range shard count for the process backend (``None``
+        = match the worker count of each batch).
+    start_method:
+        Multiprocessing start method for the process backend (``None`` =
+        ``'fork'`` where available, else ``'spawn'``).
+
+    Worker pools (thread and process) are created lazily and persist for
+    the engine's lifetime; call :meth:`close` — or use the engine as a
+    context manager — to shut them down and unlink shared-memory
+    publications.  The process backend evaluates bitmaps in worker
+    processes, so the shared cache and modeled I/O waits do not apply to
+    it (shard payloads are memory-resident by construction).
     """
 
     #: Codecs the engine can serve.
@@ -217,6 +248,9 @@ class QueryEngine:
         compressed: bool = False,
         codec: str | None = None,
         cache_bytes: int | None = None,
+        backend: str = "threads",
+        shards: int | None = None,
+        start_method: str | None = None,
     ):
         if max_workers < 1:
             raise EngineConfigError(f"max_workers must be >= 1, got {max_workers}")
@@ -228,9 +262,17 @@ class QueryEngine:
             raise EngineConfigError(
                 f"unknown codec {codec!r}; expected one of {self.CODECS}"
             )
+        if backend not in BACKENDS:
+            raise EngineConfigError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        if shards is not None and shards < 1:
+            raise EngineConfigError(f"shards must be >= 1, got {shards}")
         self.max_workers = max_workers
         self.codec = codec
         self.compressed = codec != "dense"
+        self.backend = backend
+        self.shards = shards
         self.cache = SharedBitmapCache(cache_capacity, byte_budget=cache_bytes)
         self.registry = IndexRegistry()
         self.metrics = EngineMetrics()
@@ -245,6 +287,55 @@ class QueryEngine:
             )
         else:
             self._sleep = None
+        self._start_method = start_method
+        self._pool_lock = threading.Lock()
+        self._thread_pools: dict[int, ThreadPoolExecutor] = {}
+        self._process_executors: dict[int, ProcessShardExecutor] = {}
+        self._export_lock = threading.Lock()
+        self._exports: dict[tuple, ShardExport] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self, wait: bool = True) -> None:
+        """Shut down worker pools and unlink shared-memory publications.
+
+        Idempotent.  A closed engine still serves inline queries; batch
+        entry points needing a pool raise
+        :class:`~repro.errors.EngineConfigError`.
+        """
+        with self._pool_lock:
+            already = self._closed
+            self._closed = True
+            thread_pools = list(self._thread_pools.values())
+            self._thread_pools.clear()
+            process_executors = list(self._process_executors.values())
+            self._process_executors.clear()
+        with self._export_lock:
+            exports = list(self._exports.values())
+            self._exports.clear()
+        if already and not (thread_pools or process_executors or exports):
+            return
+        for pool in thread_pools:
+            pool.shutdown(wait=wait)
+        for executor in process_executors:
+            executor.shutdown(wait=wait)
+        for export in exports:
+            export.close()
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - best-effort cleanup
+        try:
+            self.close(wait=False)
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------
     # Registration
@@ -325,6 +416,9 @@ class QueryEngine:
             options = options.with_(trace=True)
         name = self._resolve(relation)
         q = normalize_query(query)
+        if self._backend_for(options) == "processes":
+            workers = options.workers or self.max_workers
+            return self._process_batch([(name, q)], options, workers)[0]
         if isinstance(q, AttributePredicate):
             return self._run_one(name, q, options)
         return self._run_expression(name, q, options)
@@ -344,7 +438,11 @@ class QueryEngine:
         ``(relation_name, query)`` pair.  ``workers=1`` runs the batch
         inline on the calling thread — the sequential baseline;
         ``options.workers`` supplies the width when ``workers`` is not
-        passed.
+        passed.  The execution backend comes from ``options.backend``
+        (falling back to the engine's configured default): ``threads``
+        reuses the engine's persistent pool of the requested width;
+        ``processes`` fans each query out across the relation's shards on
+        the process pool.
         """
         options = options if options is not None else DEFAULT_OPTIONS
         resolved: list[tuple[str, AttributePredicate | Expression]] = []
@@ -360,17 +458,24 @@ class QueryEngine:
             workers = self.max_workers
         if workers < 1:
             raise EngineConfigError(f"workers must be >= 1, got {workers}")
+        backend = self._backend_for(options)
+
+        if backend == "processes":
+            return self._process_batch(resolved, options, workers)
+
+        threaded = backend == "threads" and workers > 1 and len(resolved) > 1
+        label = "threads" if threaded else "inline"
 
         def run(name: str, q) -> QueryResult:
             if isinstance(q, AttributePredicate):
-                return self._run_one(name, q, options)
-            return self._run_expression(name, q, options)
+                return self._run_one(name, q, options, backend=label)
+            return self._run_expression(name, q, options, backend=label)
 
-        if workers == 1 or len(resolved) <= 1:
+        if not threaded:
             return [run(name, q) for name, q in resolved]
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(run, name, q) for name, q in resolved]
-            return [future.result() for future in futures]
+        pool = self._thread_pool(workers)
+        futures = [pool.submit(run, name, q) for name, q in resolved]
+        return [future.result() for future in futures]
 
     def explain(
         self,
@@ -502,6 +607,47 @@ class QueryEngine:
         """Drop cached bitmaps and cache counters (indexes survive)."""
         self.cache.clear()
 
+    def invalidate(
+        self, relation: str | None = None, attribute: str | None = None
+    ) -> None:
+        """Drop built indexes, cached bitmaps, and shard publications.
+
+        Call after mutating a registered relation's underlying data so
+        later queries rebuild against the new contents.  ``relation``
+        narrows the drop to one relation (default: all registered);
+        ``attribute`` to one attribute of it.  Cached bitmaps are evicted
+        per relation (the cache groups by relation, not attribute).
+        """
+        names = (
+            [self._resolve(relation)] if relation is not None else list(self._relations)
+        )
+        for name in names:
+            attributes = (
+                [attribute]
+                if attribute is not None
+                else list(self._specs.get(name, ()))
+            )
+            for attr in attributes:
+                self.registry.pop((name, attr))
+                for key in self.registry.keys():
+                    if (
+                        isinstance(key, tuple)
+                        and len(key) == 4
+                        and key[:3] == (name, attr, "shards")
+                    ):
+                        self.registry.pop(key)
+            with self._export_lock:
+                doomed = [
+                    key
+                    for key in self._exports
+                    if key[0] == name
+                    and (attribute is None or key[1] == attribute)
+                ]
+                closing = [self._exports.pop(key) for key in doomed]
+            for export in closing:
+                export.close()
+            self.cache.drop_group(name)
+
     @property
     def relations(self) -> list[str]:
         return list(self._relations)
@@ -522,15 +668,18 @@ class QueryEngine:
             )
         return relation
 
-    def _index_for(self, relation_name: str, attribute: str) -> BitmapIndex:
+    def _spec_for(self, relation_name: str, attribute: str) -> IndexSpec:
         try:
-            spec = self._specs[relation_name][attribute]
+            return self._specs[relation_name][attribute]
         except KeyError:
             served = ", ".join(sorted(self._specs.get(relation_name, ())))
             raise EngineConfigError(
                 f"attribute {attribute!r} of relation {relation_name!r} is not "
                 f"served by the engine; served attributes: {served}"
             ) from None
+
+    def _index_for(self, relation_name: str, attribute: str) -> BitmapIndex:
+        spec = self._spec_for(relation_name, attribute)
         relation = self._relations[relation_name]
 
         def build() -> BitmapIndex:
@@ -577,12 +726,245 @@ class QueryEngine:
             prefix += (codec,)
         return _CachedSource(index, self.cache, prefix, self._sleep, codec=codec)
 
+    # ------------------------------------------------------------------
+    # Worker pools and the process backend
+    # ------------------------------------------------------------------
+
+    def _backend_for(self, options: QueryOptions) -> str:
+        backend = options.backend if options.backend is not None else self.backend
+        if backend not in BACKENDS:
+            raise EngineConfigError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        return backend
+
+    def _thread_pool(self, workers: int) -> ThreadPoolExecutor:
+        """The persistent thread pool of the requested width (lazy)."""
+        with self._pool_lock:
+            if self._closed:
+                raise EngineConfigError("engine is closed")
+            pool = self._thread_pools.get(workers)
+            if pool is None:
+                pool = ThreadPoolExecutor(
+                    max_workers=workers,
+                    thread_name_prefix=f"repro-engine-{workers}",
+                )
+                self._thread_pools[workers] = pool
+            return pool
+
+    def _process_executor(self, workers: int) -> ProcessShardExecutor:
+        """The persistent process executor of the requested width (lazy)."""
+        with self._pool_lock:
+            if self._closed:
+                raise EngineConfigError("engine is closed")
+            executor = self._process_executors.get(workers)
+            if executor is None:
+                executor = ProcessShardExecutor(
+                    workers, start_method=self._start_method
+                )
+                self._process_executors[workers] = executor
+            return executor
+
+    def _sharded_index_for(
+        self, relation_name: str, attribute: str, shards: int
+    ) -> ShardedBitmapIndex:
+        """The row-range-sharded index of one attribute (built once)."""
+        spec = self._spec_for(relation_name, attribute)
+        relation = self._relations[relation_name]
+
+        def build() -> ShardedBitmapIndex:
+            column = relation.column(attribute)
+            return ShardedBitmapIndex(
+                column.codes,
+                cardinality=column.cardinality,
+                shards=shards,
+                base=spec.resolve_base(column.cardinality),
+                encoding=spec.encoding,
+                keep_values=False,
+            )
+
+        return self.registry.get_or_build(
+            (relation_name, attribute, "shards", shards), build
+        )
+
+    def _export_for(
+        self, relation_name: str, attribute: str, codec: str, shards: int
+    ) -> ShardExport:
+        """The current shared-memory publication of one sharded index.
+
+        Re-exports (and unlinks the stale blocks) when maintenance has
+        bumped the sharded index's version since the last publication.
+        """
+        sharded = self._sharded_index_for(relation_name, attribute, shards)
+        key = (relation_name, attribute, codec, shards)
+        stale = None
+        with self._export_lock:
+            export = self._exports.get(key)
+            if export is not None and export.version == sharded.version:
+                return export
+            stale = export
+            export = ShardExport(sharded, codec)
+            self._exports[key] = export
+        if stale is not None:
+            stale.close()
+        return export
+
+    def _process_batch(
+        self,
+        resolved: list,
+        options: QueryOptions,
+        workers: int,
+    ) -> list[QueryResult]:
+        """Evaluate a resolved batch on the sharded process backend."""
+        shards = options.shards or self.shards or workers
+        if shards < 1:
+            raise EngineConfigError(f"shards must be >= 1, got {shards}")
+        try:
+            executor = self._process_executor(workers)
+            # Translate every query to the code domain and publish the
+            # sharded indexes its attributes need.  Relations of
+            # different sizes may clamp to different effective shard
+            # counts, so items are grouped by their relation's effective
+            # count and dispatched per group.
+            exports: dict[tuple, ShardExport] = {}
+            metas: list[tuple] = []
+            items: list[tuple] = []
+            for qid, (name, q) in enumerate(resolved):
+                relation = self._relations[name]
+                if isinstance(q, AttributePredicate):
+                    attributes = (q.attribute,)
+                    codec = self._codec_for(name, q.attribute, options)
+                    column = relation.column(q.attribute)
+                    op, code = column.code_bounds(q.op, q.value)
+                    payload = ("pred", q.attribute, op, int(code))
+                    mode = "predicate"
+                else:
+                    attributes = tuple(sorted(q.attributes()))
+                    codecs = sorted(
+                        {self._codec_for(name, a, options) for a in attributes}
+                    )
+                    if len(codecs) > 1:
+                        raise EngineConfigError(
+                            f"expression '{q}' mixes bitmap codecs {codecs}; "
+                            f"give its attributes one codec (per-query "
+                            f"options.codec overrides every spec)"
+                        )
+                    codec = codecs[0]
+                    payload = ("expr", attributes, translate_expression(q, relation))
+                    mode = "expression"
+                for attr in attributes:
+                    export_key = (name, attr)
+                    if export_key not in exports:
+                        exports[export_key] = self._export_for(
+                            name,
+                            attr,
+                            self._codec_for(name, attr, options),
+                            shards,
+                        )
+                items.append((qid, name, payload))
+                metas.append((name, mode, codec, q))
+            groups: dict[int, list] = {}
+            for item in items:
+                _, name, _ = item
+                count = exports[
+                    next(k for k in exports if k[0] == name)
+                ].num_shards
+                groups.setdefault(count, []).append(item)
+            outcomes: dict[int, ShardQueryOutcome] = {}
+            for count, group_items in groups.items():
+                needed = {
+                    key: export
+                    for key, export in exports.items()
+                    if export.num_shards == count
+                }
+                group_outcomes = executor.run_batch(
+                    needed, group_items, algorithm=options.algorithm
+                )
+                for (qid, _, _), outcome in zip(group_items, group_outcomes):
+                    outcomes[qid] = outcome
+        except Exception:
+            self.metrics.record_failure()
+            raise
+        return [
+            self._finish_process_outcome(metas[qid], outcomes[qid], options, shards)
+            for qid in range(len(resolved))
+        ]
+
+    def _finish_process_outcome(
+        self,
+        meta: tuple,
+        outcome: ShardQueryOutcome,
+        options: QueryOptions,
+        shards: int,
+    ) -> QueryResult:
+        """Turn one merged shard outcome into a recorded QueryResult."""
+        name, mode, codec, q = meta
+        stats = outcome.stats
+        trace = None
+        if options.trace:
+            trace = QueryTrace(label=str(q))
+            trace.event(
+                "engine.dispatch",
+                kind="plan",
+                relation=name,
+                mode=mode,
+                access_path="bitmap" if mode == "predicate" else "expression",
+                backend="processes",
+                shards=len(outcome.shard_seconds),
+                codec=codec,
+            )
+            for shard, (rows, seconds, shard_stats) in enumerate(
+                zip(outcome.shard_rows, outcome.shard_seconds, outcome.shard_stats)
+            ):
+                trace.add_span(
+                    "shard.evaluate",
+                    kind="shard",
+                    seconds=seconds,
+                    shard=shard,
+                    rows=rows[1] - rows[0],
+                    scans=shard_stats.scans,
+                    bytes_read=shard_stats.bytes_read,
+                )
+            trace.finish()
+            stats.trace = trace
+        try:
+            if options.verify:
+                relation = self._relations[name]
+                if isinstance(q, AttributePredicate):
+                    truth = relation.scan(q.attribute, q.op, q.value)
+                else:
+                    truth = np.nonzero(q.mask(relation))[0]
+                if not np.array_equal(outcome.rids, truth):
+                    raise VerificationError(
+                        f"process backend returned {len(outcome.rids)} RIDs "
+                        f"for '{q}'; the scan found {len(truth)}"
+                    )
+        except Exception:
+            self.metrics.record_failure()
+            raise
+        result = QueryResult(
+            rids=outcome.rids,
+            access_path=AccessPath.BITMAP,
+            stats=stats,
+            trace=trace,
+        )
+        self.metrics.record(
+            outcome.latency_seconds,
+            stats,
+            relation=name,
+            access_path="bitmap" if mode == "predicate" else "expression",
+            codec=codec,
+            backend="processes",
+        )
+        return result
+
     def _run_one(
         self,
         relation_name: str,
         predicate: AttributePredicate,
         options: QueryOptions = DEFAULT_OPTIONS,
         record: bool = True,
+        backend: str = "inline",
     ) -> QueryResult:
         start = time.perf_counter()
         try:
@@ -618,6 +1000,7 @@ class QueryEngine:
                 relation=relation_name,
                 access_path=result.access_path.value,
                 codec=source.bitmap_codec,
+                backend=backend,
             )
         return result
 
@@ -627,6 +1010,7 @@ class QueryEngine:
         expression: Expression,
         options: QueryOptions = DEFAULT_OPTIONS,
         record: bool = True,
+        backend: str = "inline",
     ) -> QueryResult:
         start = time.perf_counter()
         try:
@@ -694,5 +1078,6 @@ class QueryEngine:
                 relation=relation_name,
                 access_path="expression",
                 codec=codecs[0],
+                backend=backend,
             )
         return result

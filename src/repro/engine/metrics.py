@@ -143,6 +143,7 @@ class EngineMetrics:
         self._by_relation: dict[str, _GroupAggregate] = {}
         self._by_access_path: dict[str, _GroupAggregate] = {}
         self._by_codec: dict[str, _GroupAggregate] = {}
+        self._by_backend: dict[str, _GroupAggregate] = {}
         self.queries = 0
         self.failures = 0
 
@@ -153,12 +154,14 @@ class EngineMetrics:
         relation: str | None = None,
         access_path: str | None = None,
         codec: str | None = None,
+        backend: str | None = None,
     ) -> None:
         """Fold one completed query into the aggregate.
 
-        ``relation``, ``access_path``, and ``codec`` label the query for
-        the per-relation / per-access-path / per-codec breakdowns; omitted
-        labels simply skip the corresponding breakdown.
+        ``relation``, ``access_path``, ``codec``, and ``backend`` label
+        the query for the per-relation / per-access-path / per-codec /
+        per-backend breakdowns; omitted labels simply skip the
+        corresponding breakdown.
         """
         with self._lock:
             self.queries += 1
@@ -179,6 +182,11 @@ class EngineMetrics:
                 if group is None:
                     group = self._by_codec[codec] = _GroupAggregate()
                 group.record(latency_seconds, stats)
+            if backend is not None:
+                group = self._by_backend.get(backend)
+                if group is None:
+                    group = self._by_backend[backend] = _GroupAggregate()
+                group.record(latency_seconds, stats)
 
     def record_failure(self) -> None:
         """Count a query that raised instead of completing."""
@@ -193,6 +201,7 @@ class EngineMetrics:
             self._by_relation.clear()
             self._by_access_path.clear()
             self._by_codec.clear()
+            self._by_backend.clear()
             self.queries = 0
             self.failures = 0
 
@@ -229,6 +238,10 @@ class EngineMetrics:
                 "by_codec": {
                     name: group.as_dict()
                     for name, group in sorted(self._by_codec.items())
+                },
+                "by_backend": {
+                    name: group.as_dict()
+                    for name, group in sorted(self._by_backend.items())
                 },
             }
         return out
@@ -273,6 +286,7 @@ class EngineMetrics:
             ("repro_relation", "relation", snap["by_relation"]),
             ("repro_access_path", "access_path", snap["by_access_path"]),
             ("repro_codec", "codec", snap["by_codec"]),
+            ("repro_backend", "backend", snap["by_backend"]),
         ):
             for metric in ("queries", "scans", "ops", "bytes_read", "buffer_hits"):
                 lines += [

@@ -55,6 +55,17 @@ class IndexRegistry:
                 self.builds += 1
             return built
 
+    def pop(self, key: Hashable) -> object | None:
+        """Forget the memoized value for ``key`` (``None`` if absent).
+
+        The next :meth:`get_or_build` for the key runs its builder again —
+        the invalidation half of the memoization contract, used by the
+        engine when a registered relation's data changes.
+        """
+        with self._lock:
+            self._build_locks.pop(key, None)
+            return self._indexes.pop(key, None)
+
     def peek(self, key: Hashable) -> object | None:
         """The memoized value for ``key`` without building (``None`` if absent)."""
         with self._lock:

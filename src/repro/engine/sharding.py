@@ -1,0 +1,859 @@
+"""Sharded, process-parallel execution of bitmap queries.
+
+The thread-pool engine scales when workers overlap I/O waits, but on pure
+CPU work the interpreter serializes the Python layer of every bitmap
+operation: the GIL bounds CPU-bound batch throughput near 1x regardless
+of worker count.  This module is the execution backend that escapes the
+GIL: each registered relation is partitioned into contiguous **row-range
+shards**, each shard gets its own :class:`~repro.core.index.BitmapIndex`
+over the same global code domain, and batches are evaluated by a pool of
+worker *processes*.
+
+The design rests on three invariants:
+
+1. **Shards share the global dictionary.**  Shard ``i`` indexes rows
+   ``[start_i, stop_i)`` of the full column's *code* array with the full
+   column's cardinality, so a code-domain predicate translated once by
+   the parent is valid verbatim on every shard.
+2. **Bitmap payloads live in shared memory, not in pickles.**  A
+   :class:`ShardExport` serializes every stored bitmap of a shard into
+   one :class:`multiprocessing.shared_memory.SharedMemory` block — raw
+   64-bit words for the dense codec (workers reconstruct
+   :class:`~repro.bitmaps.bitvector.BitVector` views zero-copy), the
+   serialized blob for WAH/Roaring (workers decode once and memoize).
+   Per query, only the tiny code-domain payload and the result RIDs
+   cross the process boundary.
+3. **Per-shard evaluation is the same algorithm on the same fetch
+   pattern.**  The evaluation algorithms' fetch sequences depend only on
+   the predicate, base, and encoding — never on the data — so every
+   shard charges identical scan/op counts, and the *logical* cost of a
+   sharded query (one scan per stored bitmap touched, as the paper
+   counts it) equals any single shard's counters while ``bytes_read``
+   sums the physical payloads actually moved.
+
+Merging is the RID-domain equivalent of the k-way OR kernels: shard row
+ranges are disjoint and ordered, so remapping each shard's local RIDs by
+its row offset and concatenating in shard order *is* the k-way
+disjoint-range union (:func:`merge_shard_rids`), with no bitmap
+materialization at global length.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.bitmaps.bitvector import BitVector
+from repro.bitmaps.compressed import WahBitVector
+from repro.bitmaps.roaring import RoaringBitmap
+from repro.core.decomposition import Base
+from repro.core.encoding import EncodingScheme
+from repro.core.evaluation import Predicate, evaluate
+from repro.core.index import BitmapIndex
+from repro.errors import EngineConfigError, ValueOutOfRangeError
+from repro.query.expression import (
+    And,
+    Between,
+    Comparison,
+    Expression,
+    In,
+    Not,
+    Or,
+    _count_op,
+)
+from repro.relation.relation import Relation
+from repro.stats import ExecutionStats
+
+#: Codec name -> class used when publishing compressed shard payloads.
+_CODEC_CLASSES: dict[str, type] = {"wah": WahBitVector, "roaring": RoaringBitmap}
+
+#: Execution backends the engine can route a batch through.
+BACKENDS = ("inline", "threads", "processes")
+
+
+# ----------------------------------------------------------------------
+# Row-range partitioning
+# ----------------------------------------------------------------------
+
+
+def shard_bounds(num_rows: int, shards: int) -> tuple[tuple[int, int], ...]:
+    """Contiguous ``[start, stop)`` row ranges covering ``num_rows`` rows.
+
+    The remainder of a non-divisible split is spread one row at a time
+    over the leading shards, so shard sizes differ by at most one.  The
+    effective shard count is clamped to ``num_rows`` (an empty shard
+    serves no purpose and would publish zero-length bitmaps).
+    """
+    if shards < 1:
+        raise EngineConfigError(f"shards must be >= 1, got {shards}")
+    shards = max(1, min(shards, num_rows))
+    quotient, remainder = divmod(num_rows, shards)
+    bounds = []
+    start = 0
+    for i in range(shards):
+        stop = start + quotient + (1 if i < remainder else 0)
+        bounds.append((start, stop))
+        start = stop
+    return tuple(bounds)
+
+
+def merge_shard_rids(
+    rid_lists: list[np.ndarray], offsets: list[int]
+) -> np.ndarray:
+    """Union per-shard local RIDs into global RIDs.
+
+    Shard row ranges are disjoint and given in ascending row order, so
+    offsetting each shard's (already sorted) local RIDs by its row start
+    and concatenating preserves global sort order — the RID-domain
+    counterpart of ``wah_or_many``/``roaring_or_many`` over bitmaps of
+    disjoint ranges, without materializing a global-length bitmap.
+    """
+    if len(rid_lists) != len(offsets):
+        raise ValueOutOfRangeError("one offset per shard result required")
+    if not rid_lists:
+        return np.empty(0, dtype=np.int64)
+    parts = [
+        rids.astype(np.int64, copy=False) + offset
+        for rids, offset in zip(rid_lists, offsets)
+    ]
+    return np.concatenate(parts) if len(parts) > 1 else parts[0]
+
+
+def merge_shard_stats(per_shard: list[ExecutionStats]) -> ExecutionStats:
+    """Fold per-shard counters into the query's *logical* cost.
+
+    Every shard evaluates the same code-domain query over the same base
+    and encoding, so the fetch/op pattern — scans, ANDs/ORs/XORs/NOTs,
+    buffer hits — is identical across shards; the logical count (one
+    scan per stored bitmap touched, as the paper's cost model counts) is
+    any single shard's value, and we take shard 0's.  Byte-level and
+    time counters are *physical* and sum across shards: the shard
+    payloads of one logical bitmap together cover all ``N`` rows.
+    """
+    if not per_shard:
+        return ExecutionStats()
+    first = per_shard[0]
+    merged = ExecutionStats()
+    merged.scans = first.scans
+    merged.ands = first.ands
+    merged.ors = first.ors
+    merged.xors = first.xors
+    merged.nots = first.nots
+    merged.buffer_hits = first.buffer_hits
+    merged.files_opened = first.files_opened
+    merged.bytes_read = sum(s.bytes_read for s in per_shard)
+    merged.decompressed_bytes = sum(s.decompressed_bytes for s in per_shard)
+    merged.io_seconds = sum(s.io_seconds for s in per_shard)
+    merged.cpu_seconds = sum(s.cpu_seconds for s in per_shard)
+    return merged
+
+
+# ----------------------------------------------------------------------
+# Code-domain query payloads (what actually crosses the process boundary)
+# ----------------------------------------------------------------------
+#
+# Workers never see column dictionaries: the parent translates every
+# value-domain leaf to the code domain once, using the same
+# ``Column.code_bounds`` call the inline path uses, so per-shard
+# evaluation is bit-identical by construction.  The leaf classes below
+# mirror the op-count behavior of their value-domain counterparts
+# exactly (same evaluate() calls, same connective charges).
+
+
+@dataclass(frozen=True)
+class CodeComparison(Expression):
+    """A pre-translated leaf ``attribute code_op code``."""
+
+    attribute: str
+    op: str
+    code: int
+
+    def bitmap(self, relation, indexes, stats=None):
+        return evaluate(
+            indexes[self.attribute], Predicate(self.op, self.code), stats=stats
+        )
+
+    def attributes(self):
+        return {self.attribute}
+
+    def __str__(self):
+        return f"{self.attribute} {self.op} #{self.code}"
+
+
+@dataclass(frozen=True)
+class CodeIn(Expression):
+    """A pre-translated ``IN`` list: an OR of code-equality bitmaps."""
+
+    attribute: str
+    codes: tuple
+
+    def bitmap(self, relation, indexes, stats=None):
+        index = indexes[self.attribute]
+        acc = None
+        for code in self.codes:
+            term = evaluate(index, Predicate("=", code), stats=stats)
+            if acc is None:
+                acc = term
+            else:
+                _count_op(stats, "or")
+                acc = acc | term
+        assert acc is not None
+        return acc
+
+    def attributes(self):
+        return {self.attribute}
+
+    def __str__(self):
+        inner = ", ".join(f"#{c}" for c in self.codes)
+        return f"{self.attribute} in ({inner})"
+
+
+@dataclass(frozen=True)
+class CodeBetween(Expression):
+    """A pre-translated ``BETWEEN``: two code-range predicates, ANDed."""
+
+    attribute: str
+    low: tuple  # (op, code)
+    high: tuple  # (op, code)
+
+    def bitmap(self, relation, indexes, stats=None):
+        index = indexes[self.attribute]
+        lower = evaluate(index, Predicate(*self.low), stats=stats)
+        upper = evaluate(index, Predicate(*self.high), stats=stats)
+        _count_op(stats, "and")
+        return lower & upper
+
+    def attributes(self):
+        return {self.attribute}
+
+    def __str__(self):
+        return (
+            f"{self.attribute} between {self.low[0]}#{self.low[1]} "
+            f"and {self.high[0]}#{self.high[1]}"
+        )
+
+
+def translate_expression(expression: Expression, relation: Relation) -> Expression:
+    """Rewrite a value-domain expression tree into the code domain.
+
+    Each leaf's actual-value constant is translated through its column's
+    sorted dictionary (``Column.code_bounds`` — the same call the inline
+    evaluator makes), producing a tree of :class:`CodeComparison` /
+    :class:`CodeIn` / :class:`CodeBetween` leaves that evaluates without
+    any column data.  Connectives are rebuilt unchanged, so the
+    operation counts charged by the translated tree match the original's
+    exactly.
+    """
+    if isinstance(expression, Comparison):
+        column = relation.column(expression.attribute)
+        op, code = column.code_bounds(expression.op, expression.value)
+        return CodeComparison(expression.attribute, op, int(code))
+    if isinstance(expression, In):
+        column = relation.column(expression.attribute)
+        codes = tuple(
+            int(column.code_bounds("=", value)[1]) for value in expression.values
+        )
+        return CodeIn(expression.attribute, codes)
+    if isinstance(expression, Between):
+        column = relation.column(expression.attribute)
+        op_lo, code_lo = column.code_bounds(">=", expression.low)
+        op_hi, code_hi = column.code_bounds("<=", expression.high)
+        return CodeBetween(
+            expression.attribute, (op_lo, int(code_lo)), (op_hi, int(code_hi))
+        )
+    if isinstance(expression, And):
+        return And(
+            translate_expression(expression.left, relation),
+            translate_expression(expression.right, relation),
+        )
+    if isinstance(expression, Or):
+        return Or(
+            translate_expression(expression.left, relation),
+            translate_expression(expression.right, relation),
+        )
+    if isinstance(expression, Not):
+        return Not(translate_expression(expression.inner, relation))
+    raise EngineConfigError(
+        f"cannot translate query node {expression!r} for sharded execution"
+    )
+
+
+# ----------------------------------------------------------------------
+# The sharded index
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ShardedResult:
+    """Merged result of evaluating one query across every shard."""
+
+    rids: np.ndarray
+    stats: ExecutionStats
+    shard_stats: list[ExecutionStats] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.rids)
+
+
+class ShardedBitmapIndex:
+    """Row-range shards of one attribute, each its own :class:`BitmapIndex`.
+
+    Built from the full column's *codes* with the full cardinality, so
+    every shard lives in the same code domain and a translated predicate
+    applies verbatim to all of them.  Maintenance routes to the owning
+    shard (appends extend the last shard); any operation bumps the
+    underlying indexes' versions, which invalidates shared-memory
+    publications derived from this index.
+    """
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        cardinality: int,
+        shards: int,
+        base: Base | None = None,
+        encoding: EncodingScheme = EncodingScheme.RANGE,
+        nulls: np.ndarray | None = None,
+        keep_values: bool = True,
+    ):
+        values = np.asarray(values, dtype=np.int64)
+        if nulls is not None:
+            nulls = np.asarray(nulls, dtype=bool)
+        self.bounds = list(shard_bounds(len(values), shards))
+        self.cardinality = cardinality
+        self.encoding = encoding
+        self.indexes = [
+            BitmapIndex(
+                values[start:stop],
+                cardinality=cardinality,
+                base=base,
+                encoding=encoding,
+                nulls=nulls[start:stop] if nulls is not None else None,
+                keep_values=keep_values,
+            )
+            for start, stop in self.bounds
+        ]
+        self.base = self.indexes[0].base
+        if nulls is not None:
+            self._track_nulls_everywhere()
+
+    # -- structure ------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.indexes)
+
+    @property
+    def nbits(self) -> int:
+        return self.bounds[-1][1] if self.bounds else 0
+
+    @property
+    def version(self) -> int:
+        """Sum of shard index versions; changes on any maintenance."""
+        return sum(index.version for index in self.indexes)
+
+    def _locate(self, rid: int) -> int:
+        if not 0 <= rid < self.nbits:
+            raise ValueOutOfRangeError(
+                f"rid {rid} out of range for {self.nbits} records"
+            )
+        starts = [start for start, _ in self.bounds]
+        shard = int(np.searchsorted(starts, rid, side="right")) - 1
+        return shard
+
+    def _track_nulls_everywhere(self) -> None:
+        """Materialize the existence bitmap on every shard.
+
+        Per-shard evaluation must charge identical op counts (the merge
+        contract of :func:`merge_shard_stats`), so the ``B_nn`` mask AND
+        either happens on all shards or on none.
+        """
+        if any(index.nonnull is not None for index in self.indexes):
+            for index in self.indexes:
+                index.track_nulls()
+
+    # -- maintenance ----------------------------------------------------
+
+    def append(self, values: np.ndarray, nulls: np.ndarray | None = None) -> int:
+        """Append rows to the last shard; returns bitmaps rewritten."""
+        values = np.asarray(values, dtype=np.int64)
+        touched = self.indexes[-1].append(values, nulls=nulls)
+        start, stop = self.bounds[-1]
+        self.bounds[-1] = (start, stop + len(values))
+        self._track_nulls_everywhere()
+        return touched
+
+    def update(self, rid: int, value: int) -> int:
+        """Update one row in its owning shard; returns bitmaps touched."""
+        shard = self._locate(rid)
+        return self.indexes[shard].update(rid - self.bounds[shard][0], value)
+
+    def delete(self, rid: int) -> int:
+        """Logically delete one row; returns bitmaps touched."""
+        shard = self._locate(rid)
+        touched = self.indexes[shard].delete(rid - self.bounds[shard][0])
+        self._track_nulls_everywhere()
+        return touched
+
+    # -- inline (in-process) evaluation --------------------------------
+
+    def source_for(self, shard: int, codec: str = "dense"):
+        """Shard ``shard`` as a bitmap source serving ``codec``."""
+        index = self.indexes[shard]
+        return index if codec == "dense" else index.as_compressed(codec)
+
+    def evaluate(
+        self,
+        predicate: Predicate,
+        algorithm: str = "auto",
+        codec: str = "dense",
+    ) -> ShardedResult:
+        """Evaluate a code-domain predicate over every shard, merged.
+
+        The in-process reference path of the sharded backend: identical
+        merge semantics to process execution, used by the differential
+        suite and as the ground truth the process path is checked
+        against.
+        """
+        shard_stats: list[ExecutionStats] = []
+        rid_lists: list[np.ndarray] = []
+        for shard in range(self.num_shards):
+            stats = ExecutionStats()
+            bitmap = evaluate(
+                self.source_for(shard, codec),
+                predicate,
+                algorithm=algorithm,
+                stats=stats,
+            )
+            rid_lists.append(bitmap.indices())
+            shard_stats.append(stats)
+        rids = merge_shard_rids(rid_lists, [start for start, _ in self.bounds])
+        return ShardedResult(rids, merge_shard_stats(shard_stats), shard_stats)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedBitmapIndex(N={self.nbits}, C={self.cardinality}, "
+            f"shards={self.num_shards}, base={self.base}, "
+            f"encoding={self.encoding})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Shared-memory publication
+# ----------------------------------------------------------------------
+
+_ALIGN = 8  # uint64 views require 8-byte aligned offsets
+
+
+@dataclass(frozen=True)
+class ShardManifest:
+    """Everything a worker needs to serve one published shard.
+
+    Pickled once per task dispatch (a few hundred bytes — names,
+    offsets, and the base/encoding metadata); the bitmap payloads
+    themselves stay in the named shared-memory block.
+    """
+
+    shm_name: str
+    codec: str
+    nbits: int
+    row_start: int
+    row_stop: int
+    cardinality: int
+    base: Base
+    encoding: EncodingScheme
+    entries: dict  # (component, slot) -> (offset, length)
+    nonnull: tuple | None  # (offset, length) when the shard tracks nulls
+
+
+def _serialize_shard(index: BitmapIndex, codec: str):
+    """Flatten a shard index's stored bitmaps into one aligned buffer."""
+    chunks: list[bytes] = []
+    entries: dict = {}
+    offset = 0
+
+    def add(key, data: bytes):
+        nonlocal offset
+        entries[key] = (offset, len(data))
+        chunks.append(data)
+        offset += len(data)
+        pad = (-len(data)) % _ALIGN
+        if pad:
+            chunks.append(b"\x00" * pad)
+            offset += pad
+
+    def encode(bitmap: BitVector) -> bytes:
+        if codec == "dense":
+            return bitmap.words.tobytes()
+        encoded = _CODEC_CLASSES[codec].from_bitvector(bitmap)
+        return encoded.blob if codec == "wah" else encoded.serialize()
+
+    for i, component in enumerate(index.components, start=1):
+        for slot in component.stored_slots():
+            add((i, slot), encode(component.bitmap(slot)))
+    nonnull_entry = None
+    if index.nonnull is not None:
+        add((0, 0), encode(index.nonnull))
+        nonnull_entry = entries.pop((0, 0))
+    return entries, nonnull_entry, b"".join(chunks)
+
+
+class ShardExport:
+    """Owner-side handle of one sharded index published to shared memory.
+
+    One :class:`~multiprocessing.shared_memory.SharedMemory` block per
+    shard, holding every stored bitmap in the requested codec.  The
+    export pins the source index's :attr:`~ShardedBitmapIndex.version`;
+    the publisher re-exports when maintenance has bumped it.  Call
+    :meth:`close` (or let the engine's ``close()``) to unlink the
+    blocks.
+    """
+
+    def __init__(self, sharded: ShardedBitmapIndex, codec: str):
+        if codec != "dense" and codec not in _CODEC_CLASSES:
+            known = ", ".join(("dense", *sorted(_CODEC_CLASSES)))
+            raise EngineConfigError(
+                f"unknown codec {codec!r}; expected one of: {known}"
+            )
+        self.codec = codec
+        self.version = sharded.version
+        self.manifests: list[ShardManifest] = []
+        self._segments: list = []
+        try:
+            for (start, stop), index in zip(sharded.bounds, sharded.indexes):
+                entries, nonnull_entry, payload = _serialize_shard(index, codec)
+                segment = shared_memory.SharedMemory(
+                    create=True, size=max(1, len(payload))
+                )
+                segment.buf[: len(payload)] = payload
+                self._segments.append(segment)
+                self.manifests.append(
+                    ShardManifest(
+                        shm_name=segment.name,
+                        codec=codec,
+                        nbits=index.nbits,
+                        row_start=start,
+                        row_stop=stop,
+                        cardinality=sharded.cardinality,
+                        base=index.base,
+                        encoding=index.encoding,
+                        entries=entries,
+                        nonnull=nonnull_entry,
+                    )
+                )
+        except Exception:
+            self.close()
+            raise
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.manifests)
+
+    @property
+    def nbytes(self) -> int:
+        """Total shared-memory bytes held by this publication."""
+        return sum(segment.size for segment in self._segments)
+
+    def close(self) -> None:
+        """Release and unlink every shared-memory block (idempotent)."""
+        segments, self._segments = self._segments, []
+        for segment in segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover - cleanup
+                pass
+
+    def __del__(self):  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+#: Process-local cache of attached shards, keyed by shared-memory name.
+#: Lives in each worker for the lifetime of the pool, so a shard is
+#: attached (and a compressed payload decoded) at most once per worker.
+_ATTACHED: dict[str, "_AttachedShard"] = {}
+_CLEANUP_REGISTERED = False
+
+
+class _AttachedShard:
+    """A worker-side bitmap source over one published shard.
+
+    Implements the :class:`~repro.core.index.BitmapSource` protocol.
+    Dense bitmaps are zero-copy ``uint64`` views into the shared block;
+    WAH/Roaring payloads are reconstructed from their serialized form on
+    first fetch and memoized.  Every fetch charges one scan at the
+    payload size, mirroring :meth:`BitmapIndex.fetch`.
+    """
+
+    def __init__(self, manifest: ShardManifest):
+        # Attaching re-registers the name with the resource tracker
+        # (bpo-39959), but pool workers share the parent's tracker
+        # process, so the second register is a set no-op and the owner's
+        # unlink unregisters exactly once.  Do NOT unregister here: that
+        # would strip the owner's registration from the shared tracker.
+        self._shm = shared_memory.SharedMemory(name=manifest.shm_name)
+        self._manifest = manifest
+        self._bitmaps: dict = {}
+        self.nbits = manifest.nbits
+        self.cardinality = manifest.cardinality
+        self.base = manifest.base
+        self.encoding = manifest.encoding
+        self.bitmap_codec = manifest.codec
+        self.compressed = manifest.codec != "dense"
+        self.row_start = manifest.row_start
+        self.nonnull = (
+            self._load(manifest.nonnull) if manifest.nonnull is not None else None
+        )
+
+    def _load(self, entry):
+        offset, length = entry
+        if self.bitmap_codec == "dense":
+            words = np.frombuffer(
+                self._shm.buf, dtype=np.uint64, count=length // 8, offset=offset
+            )
+            return BitVector(self.nbits, words)
+        blob = bytes(self._shm.buf[offset : offset + length])
+        if self.bitmap_codec == "wah":
+            return WahBitVector(blob, self.nbits)
+        return RoaringBitmap.deserialize(blob)
+
+    def fetch(self, component: int, slot: int, stats: ExecutionStats):
+        key = (component, slot)
+        bitmap = self._bitmaps.get(key)
+        if bitmap is None:
+            bitmap = self._load(self._manifest.entries[key])
+            self._bitmaps[key] = bitmap
+        # Memoized or not, a fetch is one logical scan of the stored
+        # bitmap — the same charging rule as BitmapIndex.fetch.
+        stats.record_scan(nbytes=bitmap.nbytes)
+        return bitmap
+
+    def release(self) -> None:
+        """Drop payload views so the shared block can close cleanly."""
+        self._bitmaps.clear()
+        self.nonnull = None
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - stray external views
+            pass
+
+
+def _worker_cleanup() -> None:  # pragma: no cover - exercised at worker exit
+    for shard in list(_ATTACHED.values()):
+        try:
+            shard.release()
+        except Exception:
+            pass
+    _ATTACHED.clear()
+
+
+def _attach(manifest: ShardManifest) -> _AttachedShard:
+    global _CLEANUP_REGISTERED
+    shard = _ATTACHED.get(manifest.shm_name)
+    if shard is None:
+        shard = _AttachedShard(manifest)
+        _ATTACHED[manifest.shm_name] = shard
+        if not _CLEANUP_REGISTERED:
+            atexit.register(_worker_cleanup)
+            _CLEANUP_REGISTERED = True
+    return shard
+
+
+#: Stats counters a worker reports back per query per shard.
+_STAT_FIELDS = (
+    "scans",
+    "ands",
+    "ors",
+    "xors",
+    "nots",
+    "bytes_read",
+    "decompressed_bytes",
+    "files_opened",
+    "buffer_hits",
+)
+
+
+def _stats_to_tuple(stats: ExecutionStats) -> tuple:
+    return tuple(getattr(stats, name) for name in _STAT_FIELDS)
+
+
+def stats_from_tuple(values: tuple) -> ExecutionStats:
+    """Rebuild an :class:`ExecutionStats` from a worker's counter tuple."""
+    stats = ExecutionStats()
+    for name, value in zip(_STAT_FIELDS, values):
+        setattr(stats, name, value)
+    return stats
+
+
+def _run_shard_task(
+    manifests: dict,
+    items: list,
+    algorithm: str,
+) -> list:
+    """Evaluate a batch of code-domain queries against one shard.
+
+    ``manifests`` maps ``(relation, attribute)`` to the shard's
+    :class:`ShardManifest`; ``items`` is a list of
+    ``(qid, relation, payload)`` where ``payload`` is either
+    ``("pred", attribute, op, code)`` or ``("expr", attributes,
+    code_expression)``.  Returns ``(qid, local_rids, stat_tuple,
+    seconds)`` per item.
+    """
+    sources = {key: _attach(manifest) for key, manifest in manifests.items()}
+    out = []
+    for qid, relation_name, payload in items:
+        stats = ExecutionStats()
+        started = time.perf_counter()
+        if payload[0] == "pred":
+            _, attribute, op, code = payload
+            bitmap = evaluate(
+                sources[(relation_name, attribute)],
+                Predicate(op, code),
+                algorithm=algorithm,
+                stats=stats,
+            )
+        else:
+            _, attributes, expression = payload
+            leaf_sources = {
+                attribute: sources[(relation_name, attribute)]
+                for attribute in attributes
+            }
+            bitmap = expression.bitmap(None, leaf_sources, stats)
+        rids = bitmap.indices()
+        elapsed = time.perf_counter() - started
+        out.append((qid, rids, _stats_to_tuple(stats), elapsed))
+    return out
+
+
+# ----------------------------------------------------------------------
+# The process executor
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ShardQueryOutcome:
+    """One query's merged cross-shard outcome, pre-metrics."""
+
+    rids: np.ndarray
+    stats: ExecutionStats
+    shard_stats: list[ExecutionStats]
+    shard_seconds: list[float]
+    shard_rows: list[tuple[int, int]]
+
+    @property
+    def latency_seconds(self) -> float:
+        """Critical-path latency: the slowest shard's evaluation time."""
+        return max(self.shard_seconds) if self.shard_seconds else 0.0
+
+
+class ProcessShardExecutor:
+    """A persistent process pool running shard tasks.
+
+    Workers are spawned once (``fork`` where available — cheap and
+    inherits the parent's imports — else ``spawn``) and reused across
+    batches; shard payloads reach them through shared memory, never
+    through the task pickles.
+    """
+
+    def __init__(self, max_workers: int, start_method: str | None = None):
+        if max_workers < 1:
+            raise EngineConfigError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        methods = multiprocessing.get_all_start_methods()
+        if start_method is None:
+            start_method = "fork" if "fork" in methods else "spawn"
+        if start_method not in methods:
+            raise EngineConfigError(
+                f"start method {start_method!r} unavailable; "
+                f"this platform offers: {', '.join(methods)}"
+            )
+        self.max_workers = max_workers
+        self.start_method = start_method
+        self._pool = ProcessPoolExecutor(
+            max_workers=max_workers,
+            mp_context=multiprocessing.get_context(start_method),
+        )
+
+    def run_batch(
+        self,
+        exports: dict,
+        items: list,
+        algorithm: str = "auto",
+    ) -> list[ShardQueryOutcome]:
+        """Run a batch of code-domain queries across every shard.
+
+        ``exports`` maps ``(relation, attribute)`` to a
+        :class:`ShardExport` (all exports must agree on shard count and
+        row bounds — they derive from the same relation partitioning);
+        ``items`` is the ``(qid, relation, payload)`` list of
+        :func:`_run_shard_task`.  Returns one
+        :class:`ShardQueryOutcome` per item, in item order.
+        """
+        if not items:
+            return []
+        num_shards = {export.num_shards for export in exports.values()}
+        if len(num_shards) != 1:
+            raise EngineConfigError(
+                f"exports disagree on shard count: {sorted(num_shards)}"
+            )
+        (shards,) = num_shards
+        futures = []
+        for shard in range(shards):
+            manifests = {
+                key: export.manifests[shard] for key, export in exports.items()
+            }
+            futures.append(
+                self._pool.submit(_run_shard_task, manifests, items, algorithm)
+            )
+        # per_query[qid] = list of (shard, rids, stats, seconds)
+        per_query: dict[int, list] = {qid: [] for qid, _, _ in items}
+        for shard, future in enumerate(futures):
+            for qid, rids, stat_tuple, seconds in future.result():
+                per_query[qid].append((shard, rids, stat_tuple, seconds))
+        any_export = next(iter(exports.values()))
+        bounds = [
+            (manifest.row_start, manifest.row_stop)
+            for manifest in any_export.manifests
+        ]
+        outcomes = []
+        for qid, _, _ in items:
+            results = sorted(per_query[qid])
+            shard_stats = [stats_from_tuple(t) for _, _, t, _ in results]
+            rids = merge_shard_rids(
+                [rids for _, rids, _, _ in results],
+                [bounds[shard][0] for shard, _, _, _ in results],
+            )
+            outcomes.append(
+                ShardQueryOutcome(
+                    rids=rids,
+                    stats=merge_shard_stats(shard_stats),
+                    shard_stats=shard_stats,
+                    shard_seconds=[seconds for _, _, _, seconds in results],
+                    shard_rows=bounds,
+                )
+            )
+        return outcomes
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._pool.shutdown(wait=wait)
+
+    def __repr__(self) -> str:
+        return (
+            f"ProcessShardExecutor(max_workers={self.max_workers}, "
+            f"start_method={self.start_method!r})"
+        )

@@ -39,12 +39,22 @@ class QueryOptions:
         Record a :class:`~repro.trace.QueryTrace` of timed spans on the
         result (adds per-operation overhead; leave off on the hot path).
     workers:
-        Thread-pool width for batch entry points (``None`` = the engine's
+        Worker-pool width for batch entry points (``None`` = the engine's
         configured default).
     codec:
         Bitmap representation the query runs over (``'dense'``, ``'wah'``,
         or ``'roaring'``).  ``None`` defers to the per-index spec and then
         the engine's configured default codec.
+    backend:
+        Execution backend for engine queries: ``'inline'`` (sequential on
+        the calling thread), ``'threads'`` (the engine's persistent
+        thread pool), or ``'processes'`` (sharded, GIL-free execution on
+        a process pool over shared-memory bitmap payloads).  ``None``
+        defers to the engine's configured default backend.
+    shards:
+        Row-range shard count for the process backend (``None`` = the
+        engine's configured default, which itself defaults to the worker
+        count).  Ignored by the inline and thread backends.
     """
 
     verify: bool = False
@@ -52,6 +62,8 @@ class QueryOptions:
     trace: bool = False
     workers: int | None = None
     codec: str | None = None
+    backend: str | None = None
+    shards: int | None = None
 
     def with_(self, **overrides) -> "QueryOptions":
         """A copy with the given fields replaced."""

@@ -31,6 +31,7 @@ buffer    buffer-pool hits
 op        logical bitmap operations (and/or/xor/not, k-way merges)
 decode    codec decompression on the read path
 io        modeled disk waits on engine cache misses
+shard     per-shard evaluation on the process backend (worker-timed)
 ========  ==============================================================
 
 A trace is owned by one query on one thread; it is not thread-safe and is
@@ -109,6 +110,28 @@ class QueryTrace:
         """Record an instantaneous event at the current nesting depth."""
         record = Span(
             name, kind, time.perf_counter() - self._origin, 0.0, self._depth, attrs
+        )
+        self.spans.append(record)
+        return record
+
+    def add_span(
+        self, name: str, kind: str = "phase", *, seconds: float = 0.0, **attrs
+    ) -> Span:
+        """Record a span whose duration was measured elsewhere.
+
+        The process backend uses this to surface per-shard evaluation
+        times clocked inside worker processes: the work did not happen on
+        this trace's thread, so :meth:`span` cannot time it, but it still
+        belongs in the query's timeline.  The span is stamped at the
+        current trace offset with the externally-measured ``seconds``.
+        """
+        record = Span(
+            name,
+            kind,
+            time.perf_counter() - self._origin,
+            seconds,
+            self._depth,
+            attrs,
         )
         self.spans.append(record)
         return record

@@ -1,0 +1,326 @@
+"""Differential tests for the sharded, process-parallel execution backend.
+
+The contract under test: for every codec (dense/WAH/Roaring) and every
+shard count — including one that does not divide the row count — the
+process backend returns **bit-identical RIDs**, identical popcounts, and
+identical metrics-visible scan and operation counts to the inline
+backend, before and after append/update/delete maintenance.
+
+Scan-count parity is exact against an *uncached* inline engine: the
+shard workers charge one scan per fetch (the ``BitmapIndex.fetch``
+rule), while a warm shared cache on the inline path converts repeat
+fetches into buffer hits; ``scans + buffer_hits`` (effective fetches) is
+the invariant that holds under any cache configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.decomposition import Base
+from repro.core.encoding import EncodingScheme
+from repro.core.evaluation import Predicate, evaluate
+from repro.core.index import BitmapIndex
+from repro.engine import QueryEngine, QueryOptions, ShardedBitmapIndex, shard_bounds
+from repro.engine.sharding import merge_shard_rids, translate_expression
+from repro.errors import EngineConfigError
+from repro.query.expression import parse_expression
+from repro.relation.relation import Relation
+from repro.stats import ExecutionStats
+
+CODECS = ("dense", "wah", "roaring")
+SHARD_COUNTS = (1, 2, 7)  # 7 does not divide the test row counts
+NUM_ROWS = 5_003  # prime: never divisible by a shard count > 1
+
+
+# ----------------------------------------------------------------------
+# shard_bounds
+# ----------------------------------------------------------------------
+
+
+class TestShardBounds:
+    def test_partitions_are_contiguous_and_cover(self):
+        bounds = shard_bounds(100, 7)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == 100
+        for (_, stop), (start, _) in zip(bounds, bounds[1:]):
+            assert stop == start
+
+    def test_sizes_differ_by_at_most_one(self):
+        for rows, shards in ((100, 7), (5, 3), (64, 64), (1000, 13)):
+            sizes = [stop - start for start, stop in shard_bounds(rows, shards)]
+            assert sum(sizes) == rows
+            assert max(sizes) - min(sizes) <= 1
+
+    def test_clamps_to_row_count(self):
+        assert len(shard_bounds(3, 10)) == 3
+        assert shard_bounds(3, 10) == ((0, 1), (1, 2), (2, 3))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(EngineConfigError):
+            shard_bounds(10, 0)
+
+    def test_merge_offsets_preserve_global_order(self):
+        rids = merge_shard_rids(
+            [np.array([0, 2]), np.array([1]), np.array([0, 3])],
+            [0, 10, 20],
+        )
+        assert rids.tolist() == [0, 2, 11, 20, 23]
+
+
+# ----------------------------------------------------------------------
+# ShardedBitmapIndex vs a single BitmapIndex (unit-level differential)
+# ----------------------------------------------------------------------
+
+
+def _predicate_sweep(cardinality: int):
+    """Predicates hitting interior, boundary, and trivial codes."""
+    for op in ("<", "<=", "=", "!=", ">=", ">"):
+        for code in (0, 1, cardinality // 2, cardinality - 1):
+            yield Predicate(op, code)
+
+
+class TestShardedIndexDifferential:
+    @pytest.fixture(scope="class")
+    def values(self) -> np.ndarray:
+        rng = np.random.default_rng(11)
+        return rng.integers(0, 60, NUM_ROWS)
+
+    def _assert_equivalent(self, single: BitmapIndex, sharded, codec: str):
+        source = single if codec == "dense" else single.as_compressed(codec)
+        for predicate in _predicate_sweep(single.cardinality):
+            stats = ExecutionStats()
+            bitmap = evaluate(source, predicate, stats=stats)
+            result = sharded.evaluate(predicate, codec=codec)
+            assert np.array_equal(bitmap.indices(), result.rids), predicate
+            assert bitmap.count() == result.count, predicate
+            assert result.stats.scans == stats.scans, predicate
+            assert result.stats.ops == stats.ops, predicate
+            # Per-shard logical counts are identical (data-independent
+            # fetch patterns) — the premise of the stats merge rule.
+            assert len({s.scans for s in result.shard_stats}) == 1
+            assert len({s.ops for s in result.shard_stats}) == 1
+
+    @pytest.mark.parametrize("codec", CODECS)
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_matches_single_index(self, values, codec, shards):
+        base = Base((8, 8))
+        single = BitmapIndex(values, cardinality=60, base=base)
+        sharded = ShardedBitmapIndex(values, cardinality=60, shards=shards, base=base)
+        assert sharded.nbits == single.nbits
+        self._assert_equivalent(single, sharded, codec)
+
+    @pytest.mark.parametrize("encoding", [EncodingScheme.EQUALITY, EncodingScheme.RANGE])
+    def test_matches_across_encodings(self, values, encoding):
+        single = BitmapIndex(values, cardinality=60, encoding=encoding)
+        sharded = ShardedBitmapIndex(
+            values, cardinality=60, shards=3, encoding=encoding
+        )
+        self._assert_equivalent(single, sharded, "dense")
+
+    @pytest.mark.parametrize("codec", CODECS)
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_matches_after_maintenance(self, values, codec, shards):
+        base = Base((8, 8))
+        single = BitmapIndex(values, cardinality=60, base=base)
+        sharded = ShardedBitmapIndex(values, cardinality=60, shards=shards, base=base)
+        version = sharded.version
+
+        appended = np.array([0, 17, 59, 30, 5])
+        single.append(appended)
+        sharded.append(appended)
+        for rid, value in ((0, 59), (NUM_ROWS - 1, 0), (NUM_ROWS // 2, 7)):
+            single.update(rid, value)
+            sharded.update(rid, value)
+        for rid in (3, NUM_ROWS - 2, NUM_ROWS + 2):
+            single.delete(rid)
+            sharded.delete(rid)
+
+        assert sharded.version > version  # publications must re-export
+        assert sharded.nbits == single.nbits == NUM_ROWS + 5
+        # Deletes materialize B_nn; shards must track it uniformly or
+        # per-shard op counts diverge.
+        assert all(index.nonnull is not None for index in sharded.indexes)
+        self._assert_equivalent(single, sharded, codec)
+
+    def test_nulls_at_construction(self, values):
+        rng = np.random.default_rng(5)
+        nulls = rng.random(NUM_ROWS) < 0.1
+        single = BitmapIndex(values, cardinality=60, nulls=nulls)
+        sharded = ShardedBitmapIndex(values, cardinality=60, shards=4, nulls=nulls)
+        self._assert_equivalent(single, sharded, "dense")
+
+
+# ----------------------------------------------------------------------
+# Engine-level differential: process backend vs inline backend
+# ----------------------------------------------------------------------
+
+QUERIES = [
+    "quantity <= 25",
+    "quantity > 48",
+    "region = 3",
+    "region != 0",
+    "quantity = 0",
+    "quantity >= 10 and region = 5",
+    "quantity < 5 or quantity > 45",
+    "quantity in (1, 9, 33)",
+    "quantity between 12 and 30",
+    "not (region = 2 or region = 6)",
+    "quantity between 5 and 40 and (region = 1 or region = 7)",
+]
+
+
+@pytest.fixture(scope="module")
+def relation() -> Relation:
+    rng = np.random.default_rng(99)
+    return Relation.from_dict(
+        "orders",
+        {
+            "quantity": rng.integers(0, 50, NUM_ROWS),
+            "region": rng.integers(0, 8, NUM_ROWS),
+        },
+    )
+
+
+def make_engine(relation: Relation, **kwargs) -> QueryEngine:
+    engine = QueryEngine(**kwargs)
+    engine.register(relation, components=2)
+    return engine
+
+
+class TestEngineBackendDifferential:
+    @pytest.mark.parametrize("codec", CODECS)
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_process_backend_matches_inline(self, relation, codec, shards):
+        # capacity=0 disables the shared cache, so inline scan counts are
+        # the raw per-query fetch counts the workers also charge.
+        with make_engine(relation, codec=codec, cache_capacity=0) as engine:
+            inline = engine.query_batch(QUERIES, options=QueryOptions(backend="inline"))
+            process = engine.query_batch(
+                QUERIES,
+                options=QueryOptions(backend="processes", shards=shards, verify=True),
+            )
+            for query, a, b in zip(QUERIES, inline, process):
+                assert np.array_equal(a.rids, b.rids), query
+                assert a.count == b.count, query
+                assert a.stats.scans == b.stats.scans, query
+                assert a.stats.ops == b.stats.ops, query
+
+    def test_effective_fetches_match_with_warm_cache(self, relation):
+        # With a warm shared cache the inline path trades scans for
+        # buffer hits one-for-one; scans + buffer_hits stays invariant.
+        with make_engine(relation) as engine:
+            inline = engine.query_batch(QUERIES, options=QueryOptions(backend="inline"))
+            process = engine.query_batch(
+                QUERIES, options=QueryOptions(backend="processes", shards=4)
+            )
+            for query, a, b in zip(QUERIES, inline, process):
+                assert np.array_equal(a.rids, b.rids), query
+                effective_inline = a.stats.scans + a.stats.buffer_hits
+                effective_process = b.stats.scans + b.stats.buffer_hits
+                assert effective_inline == effective_process, query
+
+    def test_single_query_routes_through_processes(self, relation):
+        with make_engine(relation) as engine:
+            options = QueryOptions(backend="processes", shards=3, trace=True)
+            result = engine.query("quantity <= 25", options=options)
+            truth = relation.scan("quantity", "<=", 25)
+            assert np.array_equal(result.rids, truth)
+            shard_spans = result.trace.spans_of("shard")
+            assert len(shard_spans) == 3
+            assert sum(s.attrs["rows"] for s in shard_spans) == NUM_ROWS
+            snap = engine.metrics.snapshot()
+            assert snap["by_backend"]["processes"]["queries"] == 1
+
+    def test_process_backend_matches_after_maintenance(self, relation):
+        with make_engine(relation, cache_capacity=0) as engine:
+            options = QueryOptions(backend="processes", shards=4)
+            engine.query_batch(QUERIES, options=options)  # build + publish
+            inline_index = engine._index_for("orders", "quantity")
+            sharded_index = engine._sharded_index_for("orders", "quantity", 4)
+            for rid, value in ((0, 49), (NUM_ROWS - 1, 0), (17, 17)):
+                inline_index.update(rid, value)
+                sharded_index.update(rid, value)
+            inline_index.delete(5)
+            sharded_index.delete(5)
+            # The version bump must invalidate the shared-memory
+            # publication, so the next batch re-exports and agrees.
+            inline = engine.query_batch(QUERIES, options=QueryOptions(backend="inline"))
+            process = engine.query_batch(QUERIES, options=options)
+            for query, a, b in zip(QUERIES, inline, process):
+                assert np.array_equal(a.rids, b.rids), query
+                assert a.stats.scans == b.stats.scans, query
+                assert a.stats.ops == b.stats.ops, query
+
+    def test_worker_counts_do_not_change_results(self, relation):
+        with make_engine(relation, cache_capacity=0) as engine:
+            baseline = engine.query_batch(
+                QUERIES, workers=1, options=QueryOptions(backend="processes", shards=5)
+            )
+            wide = engine.query_batch(
+                QUERIES, workers=4, options=QueryOptions(backend="processes", shards=5)
+            )
+            for a, b in zip(baseline, wide):
+                assert np.array_equal(a.rids, b.rids)
+
+    def test_threads_backend_reuses_one_pool(self, relation):
+        with make_engine(relation) as engine:
+            batch = QUERIES * 3
+            engine.query_batch(batch, workers=4)
+            pool = engine._thread_pools.get(4)
+            assert pool is not None
+            engine.query_batch(batch, workers=4)
+            assert engine._thread_pools.get(4) is pool
+        assert engine._thread_pools == {}  # close() shut it down
+
+    def test_closed_engine_rejects_pooled_batches(self, relation):
+        engine = make_engine(relation)
+        engine.close()
+        with pytest.raises(EngineConfigError):
+            engine.query_batch(QUERIES, workers=4)
+        # Inline evaluation needs no pool and keeps working.
+        result = engine.query("quantity <= 25", options=QueryOptions(backend="inline"))
+        assert result.count > 0
+
+    def test_invalidate_drops_publications_and_indexes(self, relation):
+        with make_engine(relation) as engine:
+            engine.query_batch(QUERIES, options=QueryOptions(backend="processes", shards=2))
+            assert engine._exports
+            sharded_key = ("orders", "quantity", "shards", 2)
+            assert sharded_key in engine.registry
+            engine.invalidate("orders")
+            assert not engine._exports
+            assert sharded_key not in engine.registry
+            # And the engine still answers afterwards (rebuild path).
+            result = engine.query(
+                "quantity <= 25", options=QueryOptions(backend="processes", shards=2)
+            )
+            assert np.array_equal(result.rids, relation.scan("quantity", "<=", 25))
+
+
+class TestCodeDomainTranslation:
+    def test_translated_tree_needs_no_relation(self, relation):
+        expr = parse_expression(
+            "quantity between 5 and 40 and (region = 1 or not region > 5)"
+        )
+        translated = translate_expression(expr, relation)
+        index_q = BitmapIndex(
+            relation.column("quantity").codes,
+            cardinality=relation.column("quantity").cardinality,
+        )
+        index_r = BitmapIndex(
+            relation.column("region").codes,
+            cardinality=relation.column("region").cardinality,
+        )
+        stats_t = ExecutionStats()
+        stats_o = ExecutionStats()
+        translated_bitmap = translated.bitmap(
+            None, {"quantity": index_q, "region": index_r}, stats_t
+        )
+        original_bitmap = expr.bitmap(
+            relation, {"quantity": index_q, "region": index_r}, stats_o
+        )
+        assert np.array_equal(translated_bitmap.indices(), original_bitmap.indices())
+        assert stats_t.ops == stats_o.ops
+        assert stats_t.scans == stats_o.scans
