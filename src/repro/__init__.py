@@ -35,10 +35,16 @@ from repro.core import (
     range_eval_opt,
 )
 from repro.core.advisor import IndexDesign, recommend
-from repro.engine import QueryEngine, SharedBitmapCache
+from repro.engine import (
+    CircuitBreaker,
+    QueryEngine,
+    RetryPolicy,
+    SharedBitmapCache,
+)
 from repro.core.aggregation import BitSlicedAggregator
 from repro.core.multi import AttributeSpec, TableDesign, allocate_budget
-from repro.errors import ReproError
+from repro.errors import QueryTimeoutError, ReproError
+from repro.faults import Deadline, FaultPlan, FaultSpec
 from repro.query.options import QueryOptions
 from repro.stats import ExecutionStats
 from repro.table import Table
@@ -52,15 +58,21 @@ __all__ = [
     "BitSlicedAggregator",
     "BitVector",
     "BitmapIndex",
+    "CircuitBreaker",
+    "Deadline",
     "EncodingScheme",
     "ExecutionStats",
     "ExplainReport",
+    "FaultPlan",
+    "FaultSpec",
     "IndexDesign",
     "Predicate",
     "QueryEngine",
     "QueryOptions",
+    "QueryTimeoutError",
     "QueryTrace",
     "ReproError",
+    "RetryPolicy",
     "SharedBitmapCache",
     "Table",
     "TableDesign",

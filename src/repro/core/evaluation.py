@@ -714,7 +714,15 @@ def evaluate(
 
     ``algorithm='auto'`` picks the paper's recommendation: RangeEval-Opt
     for range-encoded indexes, the equality evaluator otherwise.
+
+    This is the evaluator seam of cooperative cancellation: when the
+    stats object carries a :class:`~repro.faults.Deadline`, it is checked
+    once per evaluation (i.e. per expression leaf), so a query that has
+    outlived its budget aborts with
+    :class:`~repro.errors.QueryTimeoutError` before fetching more bitmaps.
     """
+    if stats is not None and stats.deadline is not None:
+        stats.deadline.check("evaluate")
     if algorithm == "auto":
         if source.encoding is EncodingScheme.RANGE:
             algorithm = "range_eval_opt"

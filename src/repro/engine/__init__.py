@@ -8,6 +8,7 @@ from repro.engine.cache import SharedBitmapCache
 from repro.engine.engine import IndexSpec, QueryEngine
 from repro.engine.metrics import EngineMetrics, LatencyReservoir, percentile
 from repro.engine.registry import IndexRegistry
+from repro.engine.resilience import CircuitBreaker, RetryPolicy
 from repro.engine.sharding import (
     BACKENDS,
     ProcessShardExecutor,
@@ -15,12 +16,14 @@ from repro.engine.sharding import (
     ShardExport,
     merge_shard_rids,
     shard_bounds,
+    sweep_orphan_segments,
 )
 from repro.query.options import QueryOptions
 from repro.trace import ExplainReport, QueryTrace, explain
 
 __all__ = [
     "BACKENDS",
+    "CircuitBreaker",
     "EngineMetrics",
     "ExplainReport",
     "IndexRegistry",
@@ -30,6 +33,7 @@ __all__ = [
     "QueryEngine",
     "QueryOptions",
     "QueryTrace",
+    "RetryPolicy",
     "ShardExport",
     "ShardedBitmapIndex",
     "SharedBitmapCache",
@@ -37,4 +41,5 @@ __all__ = [
     "merge_shard_rids",
     "percentile",
     "shard_bounds",
+    "sweep_orphan_segments",
 ]

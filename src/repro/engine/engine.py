@@ -36,9 +36,11 @@ persistent process pool, merging per-shard RIDs by offset concatenation.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 import numpy as np
@@ -49,15 +51,24 @@ from repro.core.index import BitmapIndex
 from repro.engine.cache import SharedBitmapCache
 from repro.engine.metrics import EngineMetrics
 from repro.engine.registry import IndexRegistry
+from repro.engine.resilience import CircuitBreaker, RetryPolicy
 from repro.engine.sharding import (
     BACKENDS,
     ProcessShardExecutor,
     ShardedBitmapIndex,
     ShardExport,
     ShardQueryOutcome,
+    sweep_orphan_segments,
     translate_expression,
 )
-from repro.errors import EngineConfigError
+from repro.errors import (
+    CorruptShardError,
+    EngineConfigError,
+    InjectedFaultError,
+    QueryTimeoutError,
+    ShmAttachError,
+)
+from repro.faults import Deadline, FaultPlan
 from repro.query.executor import (
     AccessPath,
     QueryResult,
@@ -71,6 +82,32 @@ from repro.relation.relation import Relation
 from repro.stats import ExecutionStats
 from repro.storage.disk import DiskModel
 from repro.trace import ExplainReport, QueryTrace, build_explain_report
+
+log = logging.getLogger("repro.engine")
+
+#: Errors the process backend treats as *recoverable*: retry with
+#: backoff, then degrade.  A deadline miss is deliberately absent —
+#: retrying cannot un-spend a wall-clock budget.
+_RECOVERABLE = (
+    BrokenProcessPool,
+    ShmAttachError,
+    CorruptShardError,
+    InjectedFaultError,
+    OSError,
+)
+
+
+def _recovery_reason(exc: BaseException) -> str:
+    """Metrics label for one recoverable dispatch failure."""
+    if isinstance(exc, BrokenProcessPool):
+        return "pool-broken"
+    if isinstance(exc, ShmAttachError):
+        return "shm-attach"
+    if isinstance(exc, CorruptShardError):
+        return "shard-corrupt"
+    if isinstance(exc, InjectedFaultError):
+        return "injected"
+    return "os-error"
 
 
 @dataclass(frozen=True)
@@ -110,7 +147,15 @@ class _CachedSource:
     publishes the bitmap to the shared cache.
     """
 
-    __slots__ = ("_index", "_cache", "_prefix", "_sleep", "compressed", "bitmap_codec")
+    __slots__ = (
+        "_index",
+        "_cache",
+        "_prefix",
+        "_sleep",
+        "_faults",
+        "compressed",
+        "bitmap_codec",
+    )
 
     def __init__(
         self,
@@ -119,11 +164,13 @@ class _CachedSource:
         prefix: tuple,
         sleep_seconds_per_byte: tuple[float, float] | None,
         codec: str = "dense",
+        faults: FaultPlan | None = None,
     ):
         self._index = index
         self._cache = cache
         self._prefix = prefix
         self._sleep = sleep_seconds_per_byte
+        self._faults = faults
         self.bitmap_codec = codec
         self.compressed = codec != "dense"
 
@@ -150,8 +197,16 @@ class _CachedSource:
         return self._index.nonnull
 
     def fetch(self, component: int, slot: int, stats: ExecutionStats):
+        if stats.deadline is not None:
+            stats.deadline.check("fetch")
         key = self._prefix + (component, slot)
         bitmap = self._cache.get(key)
+        if bitmap is not None and self._faults is not None:
+            spec = self._faults.check(
+                "cache.get", ident="/".join(str(part) for part in key)
+            )
+            if spec is not None:
+                bitmap = None  # forced miss: refetch from the index
         if bitmap is not None:
             stats.buffer_hits += 1
             if stats.trace is not None:
@@ -226,6 +281,19 @@ class QueryEngine:
     start_method:
         Multiprocessing start method for the process backend (``None`` =
         ``'fork'`` where available, else ``'spawn'``).
+    retry:
+        :class:`~repro.engine.resilience.RetryPolicy` governing process-
+        backend recovery (``None`` = the default policy: 2 retries,
+        exponential backoff with seeded jitter).
+    breaker:
+        :class:`~repro.engine.resilience.CircuitBreaker` keyed by
+        relation; an open circuit routes that relation's process-backend
+        batches down the degradation ladder without touching the pool.
+        ``None`` = the default breaker (3 consecutive failures open it).
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan` armed at the engine's
+        injection seams (cache lookups, worker dispatch, shm attach) —
+        the deterministic chaos harness.  Leave ``None`` in production.
 
     Worker pools (thread and process) are created lazily and persist for
     the engine's lifetime; call :meth:`close` — or use the engine as a
@@ -251,6 +319,9 @@ class QueryEngine:
         backend: str = "threads",
         shards: int | None = None,
         start_method: str | None = None,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        fault_plan: FaultPlan | None = None,
     ):
         if max_workers < 1:
             raise EngineConfigError(f"max_workers must be >= 1, got {max_workers}")
@@ -287,6 +358,9 @@ class QueryEngine:
             )
         else:
             self._sleep = None
+        self.retry_policy = retry if retry is not None else RetryPolicy()
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.fault_plan = fault_plan
         self._start_method = start_method
         self._pool_lock = threading.Lock()
         self._thread_pools: dict[int, ThreadPoolExecutor] = {}
@@ -462,8 +536,22 @@ class QueryEngine:
 
         if backend == "processes":
             return self._process_batch(resolved, options, workers)
+        if backend == "inline":
+            workers = 1
+        return self._local_batch(resolved, options, workers)
 
-        threaded = backend == "threads" and workers > 1 and len(resolved) > 1
+    def _local_batch(
+        self,
+        resolved: list,
+        options: QueryOptions,
+        workers: int,
+    ) -> list[QueryResult]:
+        """Evaluate a resolved batch on the thread pool (or inline).
+
+        The thread/inline execution shared by :meth:`query_batch` and
+        the process backend's degradation ladder.
+        """
+        threaded = workers > 1 and len(resolved) > 1
         label = "threads" if threaded else "inline"
 
         def run(name: str, q) -> QueryResult:
@@ -554,6 +642,7 @@ class QueryEngine:
         out = self.metrics.snapshot()
         out["cache"] = self.cache.snapshot()
         out["registry"] = self.registry.snapshot()
+        out["breaker"] = self.breaker.snapshot()
         return out
 
     def snapshot_text(self) -> str:
@@ -724,7 +813,14 @@ class QueryEngine:
             # Entries of different representations for the same slot must
             # not collide in the shared cache.
             prefix += (codec,)
-        return _CachedSource(index, self.cache, prefix, self._sleep, codec=codec)
+        return _CachedSource(
+            index,
+            self.cache,
+            prefix,
+            self._sleep,
+            codec=codec,
+            faults=self.fault_plan,
+        )
 
     # ------------------------------------------------------------------
     # Worker pools and the process backend
@@ -759,11 +855,35 @@ class QueryEngine:
                 raise EngineConfigError("engine is closed")
             executor = self._process_executors.get(workers)
             if executor is None:
+                # Reclaim segments a previous (crashed) publisher left in
+                # /dev/shm before committing new ones of our own.
+                sweep_orphan_segments()
                 executor = ProcessShardExecutor(
                     workers, start_method=self._start_method
                 )
                 self._process_executors[workers] = executor
             return executor
+
+    def _discard_process_executor(self, workers: int) -> None:
+        """Tear down a broken process executor so the next dispatch
+        rebuilds it from scratch."""
+        with self._pool_lock:
+            executor = self._process_executors.pop(workers, None)
+        if executor is not None:
+            executor.shutdown(wait=False)
+
+    def _drop_exports(self, relations: set[str]) -> None:
+        """Unlink the shard publications of the given relations.
+
+        The sharded indexes themselves survive in the registry, so the
+        next dispatch re-exports from source — the rebuild path for a
+        torn or corrupt publication.
+        """
+        with self._export_lock:
+            doomed = [key for key in self._exports if key[0] in relations]
+            closing = [self._exports.pop(key) for key in doomed]
+        for export in closing:
+            export.close()
 
     def _sharded_index_for(
         self, relation_name: str, attribute: str, shards: int
@@ -815,80 +935,190 @@ class QueryEngine:
         options: QueryOptions,
         workers: int,
     ) -> list[QueryResult]:
-        """Evaluate a resolved batch on the sharded process backend."""
+        """Evaluate a resolved batch on the sharded process backend.
+
+        The resilient wrapper around :meth:`_process_batch_once`: a
+        relation whose circuit breaker is open skips the pool entirely;
+        recoverable dispatch failures (broken pool, vanished or corrupt
+        shm publication, injected faults) are repaired — pool rebuilt,
+        orphan segments swept, publications re-exported from source —
+        and retried under the engine's :class:`RetryPolicy`; exhausted
+        retries degrade the batch to the thread backend.  Every retry,
+        degradation, and corruption lands in the metrics, and (when
+        tracing) as ``fault`` events on each result's trace.  A deadline
+        miss is not retried: it surfaces as
+        :class:`~repro.errors.QueryTimeoutError` immediately.
+        """
         shards = options.shards or self.shards or workers
         if shards < 1:
             raise EngineConfigError(f"shards must be >= 1, got {shards}")
-        try:
-            executor = self._process_executor(workers)
-            # Translate every query to the code domain and publish the
-            # sharded indexes its attributes need.  Relations of
-            # different sizes may clamp to different effective shard
-            # counts, so items are grouped by their relation's effective
-            # count and dispatched per group.
-            exports: dict[tuple, ShardExport] = {}
-            metas: list[tuple] = []
-            items: list[tuple] = []
-            for qid, (name, q) in enumerate(resolved):
-                relation = self._relations[name]
-                if isinstance(q, AttributePredicate):
-                    attributes = (q.attribute,)
-                    codec = self._codec_for(name, q.attribute, options)
-                    column = relation.column(q.attribute)
-                    op, code = column.code_bounds(q.op, q.value)
-                    payload = ("pred", q.attribute, op, int(code))
-                    mode = "predicate"
-                else:
-                    attributes = tuple(sorted(q.attributes()))
-                    codecs = sorted(
-                        {self._codec_for(name, a, options) for a in attributes}
-                    )
-                    if len(codecs) > 1:
-                        raise EngineConfigError(
-                            f"expression '{q}' mixes bitmap codecs {codecs}; "
-                            f"give its attributes one codec (per-query "
-                            f"options.codec overrides every spec)"
-                        )
-                    codec = codecs[0]
-                    payload = ("expr", attributes, translate_expression(q, relation))
-                    mode = "expression"
-                for attr in attributes:
-                    export_key = (name, attr)
-                    if export_key not in exports:
-                        exports[export_key] = self._export_for(
-                            name,
-                            attr,
-                            self._codec_for(name, attr, options),
-                            shards,
-                        )
-                items.append((qid, name, payload))
-                metas.append((name, mode, codec, q))
-            groups: dict[int, list] = {}
-            for item in items:
-                _, name, _ = item
-                count = exports[
-                    next(k for k in exports if k[0] == name)
-                ].num_shards
-                groups.setdefault(count, []).append(item)
-            outcomes: dict[int, ShardQueryOutcome] = {}
-            for count, group_items in groups.items():
-                needed = {
-                    key: export
-                    for key, export in exports.items()
-                    if export.num_shards == count
-                }
-                group_outcomes = executor.run_batch(
-                    needed, group_items, algorithm=options.algorithm
+        relations = {name for name, _ in resolved}
+        blocked = sorted(
+            name for name in relations if not self.breaker.allow(f"relation:{name}")
+        )
+        if blocked:
+            self.metrics.record_degradation("processes", "threads", "breaker-open")
+            log.warning(
+                "process backend breaker open for %s; serving batch on threads",
+                ", ".join(blocked),
+            )
+            return self._local_batch(resolved, options, workers)
+        deadline = (
+            Deadline(options.deadline_ms)
+            if options.deadline_ms is not None
+            else None
+        )
+        fault_events: list[dict] = []
+        delays = self.retry_policy.delays()
+        attempt = 0
+        while True:
+            try:
+                metas, outcomes = self._process_batch_once(
+                    resolved, options, workers, shards, deadline
                 )
-                for (qid, _, _), outcome in zip(group_items, group_outcomes):
-                    outcomes[qid] = outcome
-        except Exception:
-            self.metrics.record_failure()
-            raise
+                break
+            except QueryTimeoutError:
+                self.metrics.record_timeout()
+                self.metrics.record_failure()
+                raise
+            except _RECOVERABLE as exc:
+                reason = _recovery_reason(exc)
+                self._repair_after(exc, workers, relations)
+                delay = next(delays, None)
+                if delay is None:
+                    for name in sorted(relations):
+                        self.breaker.record_failure(f"relation:{name}")
+                    self.metrics.record_degradation(
+                        "processes", "threads", "retries-exhausted"
+                    )
+                    log.warning(
+                        "process backend gave up after %d retries (%s: %s); "
+                        "serving batch on threads",
+                        attempt,
+                        reason,
+                        exc,
+                    )
+                    return self._local_batch(resolved, options, workers)
+                attempt += 1
+                self.metrics.record_retry(reason)
+                fault_events.append(
+                    {"attempt": attempt, "reason": reason, "error": str(exc)}
+                )
+                log.warning(
+                    "process backend dispatch failed (%s: %s); retry %d in "
+                    "%.0f ms",
+                    reason,
+                    exc,
+                    attempt,
+                    1e3 * delay,
+                )
+                if delay > 0:
+                    time.sleep(delay)
+            except Exception:
+                self.metrics.record_failure()
+                raise
+        for name in sorted(relations):
+            self.breaker.record_success(f"relation:{name}")
         return [
-            self._finish_process_outcome(metas[qid], outcomes[qid], options, shards)
+            self._finish_process_outcome(
+                metas[qid], outcomes[qid], options, shards, fault_events
+            )
             for qid in range(len(resolved))
         ]
+
+    def _repair_after(
+        self, exc: BaseException, workers: int, relations: set[str]
+    ) -> None:
+        """Fix what one recoverable dispatch failure broke.
+
+        A broken pool (or raw OSError) is torn down and orphaned shm
+        segments swept; a vanished or corrupt publication is dropped so
+        the retry re-exports from the in-memory sharded index.
+        """
+        if isinstance(exc, (BrokenProcessPool, OSError)):
+            self._discard_process_executor(workers)
+            sweep_orphan_segments()
+        if isinstance(exc, (ShmAttachError, CorruptShardError)):
+            if isinstance(exc, CorruptShardError):
+                self.metrics.record_corruption("shm")
+            self._drop_exports(relations)
+
+    def _process_batch_once(
+        self,
+        resolved: list,
+        options: QueryOptions,
+        workers: int,
+        shards: int,
+        deadline: Deadline | None,
+    ) -> tuple[list, dict]:
+        """One dispatch attempt of a resolved batch on the process pool."""
+        executor = self._process_executor(workers)
+        # Translate every query to the code domain and publish the
+        # sharded indexes its attributes need.  Relations of
+        # different sizes may clamp to different effective shard
+        # counts, so items are grouped by their relation's effective
+        # count and dispatched per group.
+        exports: dict[tuple, ShardExport] = {}
+        metas: list[tuple] = []
+        items: list[tuple] = []
+        for qid, (name, q) in enumerate(resolved):
+            relation = self._relations[name]
+            if isinstance(q, AttributePredicate):
+                attributes = (q.attribute,)
+                codec = self._codec_for(name, q.attribute, options)
+                column = relation.column(q.attribute)
+                op, code = column.code_bounds(q.op, q.value)
+                payload = ("pred", q.attribute, op, int(code))
+                mode = "predicate"
+            else:
+                attributes = tuple(sorted(q.attributes()))
+                codecs = sorted(
+                    {self._codec_for(name, a, options) for a in attributes}
+                )
+                if len(codecs) > 1:
+                    raise EngineConfigError(
+                        f"expression '{q}' mixes bitmap codecs {codecs}; "
+                        f"give its attributes one codec (per-query "
+                        f"options.codec overrides every spec)"
+                    )
+                codec = codecs[0]
+                payload = ("expr", attributes, translate_expression(q, relation))
+                mode = "expression"
+            for attr in attributes:
+                export_key = (name, attr)
+                if export_key not in exports:
+                    exports[export_key] = self._export_for(
+                        name,
+                        attr,
+                        self._codec_for(name, attr, options),
+                        shards,
+                    )
+            items.append((qid, name, payload))
+            metas.append((name, mode, codec, q))
+        groups: dict[int, list] = {}
+        for item in items:
+            _, name, _ = item
+            count = exports[
+                next(k for k in exports if k[0] == name)
+            ].num_shards
+            groups.setdefault(count, []).append(item)
+        outcomes: dict[int, ShardQueryOutcome] = {}
+        for count, group_items in groups.items():
+            needed = {
+                key: export
+                for key, export in exports.items()
+                if export.num_shards == count
+            }
+            group_outcomes = executor.run_batch(
+                needed,
+                group_items,
+                algorithm=options.algorithm,
+                fault_plan=self.fault_plan,
+                deadline=deadline,
+            )
+            for (qid, _, _), outcome in zip(group_items, group_outcomes):
+                outcomes[qid] = outcome
+        return metas, outcomes
 
     def _finish_process_outcome(
         self,
@@ -896,6 +1126,7 @@ class QueryEngine:
         outcome: ShardQueryOutcome,
         options: QueryOptions,
         shards: int,
+        fault_events: list[dict] | None = None,
     ) -> QueryResult:
         """Turn one merged shard outcome into a recorded QueryResult."""
         name, mode, codec, q = meta
@@ -913,6 +1144,14 @@ class QueryEngine:
                 shards=len(outcome.shard_seconds),
                 codec=codec,
             )
+            for event in fault_events or ():
+                trace.event(
+                    "dispatch.retry",
+                    kind="fault",
+                    attempt=event["attempt"],
+                    reason=event["reason"],
+                    error=event["error"],
+                )
             for shard, (rows, seconds, shard_stats) in enumerate(
                 zip(outcome.shard_rows, outcome.shard_seconds, outcome.shard_stats)
             ):
@@ -967,9 +1206,9 @@ class QueryEngine:
         backend: str = "inline",
     ) -> QueryResult:
         start = time.perf_counter()
+        trace = None
         try:
             source = self._source_for(relation_name, predicate.attribute, options)
-            trace = None
             if options.trace:
                 trace = QueryTrace(label=str(predicate))
                 trace.event(
@@ -989,6 +1228,12 @@ class QueryEngine:
                 options=options,
                 trace=trace,
             )
+        except QueryTimeoutError as exc:
+            if record:
+                self.metrics.record_timeout()
+                self.metrics.record_failure()
+            self._attach_timeout_trace(exc, trace)
+            raise
         except Exception:
             if record:
                 self.metrics.record_failure()
@@ -1013,9 +1258,12 @@ class QueryEngine:
         backend: str = "inline",
     ) -> QueryResult:
         start = time.perf_counter()
+        trace = None
         try:
             relation = self._relations[relation_name]
             stats = ExecutionStats()
+            if options.deadline_ms is not None:
+                stats.deadline = Deadline(options.deadline_ms)
             sources = {
                 attribute: self._source_for(relation_name, attribute, options)
                 for attribute in expression.attributes()
@@ -1030,7 +1278,6 @@ class QueryEngine:
                     f"{codecs}; give its attributes one codec (per-query "
                     f"options.codec overrides every spec)"
                 )
-            trace = None
             if options.trace:
                 trace = QueryTrace(label=str(expression))
                 stats.trace = trace
@@ -1067,6 +1314,12 @@ class QueryEngine:
                 stats=stats,
                 trace=trace,
             )
+        except QueryTimeoutError as exc:
+            if record:
+                self.metrics.record_timeout()
+                self.metrics.record_failure()
+            self._attach_timeout_trace(exc, trace)
+            raise
         except Exception:
             if record:
                 self.metrics.record_failure()
@@ -1081,3 +1334,13 @@ class QueryEngine:
                 backend=backend,
             )
         return result
+
+    @staticmethod
+    def _attach_timeout_trace(
+        exc: QueryTimeoutError, trace: QueryTrace | None
+    ) -> None:
+        """Hand the partial trace to a deadline error (diagnosis aid)."""
+        if trace is not None and exc.trace is None:
+            trace.event("deadline.exceeded", kind="fault", error=str(exc))
+            trace.finish()
+            exc.trace = trace

@@ -146,6 +146,10 @@ class EngineMetrics:
         self._by_backend: dict[str, _GroupAggregate] = {}
         self.queries = 0
         self.failures = 0
+        self.timeouts = 0
+        self._retries: dict[str, int] = {}
+        self._degradations: dict[tuple[str, str, str], int] = {}
+        self._corruptions: dict[str, int] = {}
 
     def record(
         self,
@@ -193,6 +197,33 @@ class EngineMetrics:
         with self._lock:
             self.failures += 1
 
+    def record_timeout(self) -> None:
+        """Count a query that exceeded its deadline."""
+        with self._lock:
+            self.timeouts += 1
+
+    def record_retry(self, reason: str) -> None:
+        """Count one recovery retry, labeled by its trigger.
+
+        Reasons are short slugs — ``"pool-broken"``, ``"shm-attach"``,
+        ``"shard-corrupt"``, ``"injected"``, … — one label per failure
+        class the resilience layer recovers from.
+        """
+        with self._lock:
+            self._retries[reason] = self._retries.get(reason, 0) + 1
+
+    def record_degradation(self, source: str, target: str, reason: str) -> None:
+        """Count one backend downgrade (e.g. processes -> threads)."""
+        with self._lock:
+            key = (source, target, reason)
+            self._degradations[key] = self._degradations.get(key, 0) + 1
+
+    def record_corruption(self, site: str) -> None:
+        """Count one detected-corruption event, labeled by where
+        (``"disk"``, ``"shm"``)."""
+        with self._lock:
+            self._corruptions[site] = self._corruptions.get(site, 0) + 1
+
     def reset(self) -> None:
         """Zero every counter (for benchmarking phases)."""
         with self._lock:
@@ -204,6 +235,10 @@ class EngineMetrics:
             self._by_backend.clear()
             self.queries = 0
             self.failures = 0
+            self.timeouts = 0
+            self._retries.clear()
+            self._degradations.clear()
+            self._corruptions.clear()
 
     @property
     def stats(self) -> ExecutionStats:
@@ -226,6 +261,22 @@ class EngineMetrics:
                 "queries": self.queries,
                 "failures": self.failures,
                 "latency_ms": latency,
+                "resilience": {
+                    "timeouts": self.timeouts,
+                    "retries": dict(sorted(self._retries.items())),
+                    "degradations": [
+                        {
+                            "source": src,
+                            "target": dst,
+                            "reason": reason,
+                            "count": count,
+                        }
+                        for (src, dst, reason), count in sorted(
+                            self._degradations.items()
+                        )
+                    ],
+                    "corruptions": dict(sorted(self._corruptions.items())),
+                },
                 "stats": self._stats.copy().as_dict(),
                 "by_relation": {
                     name: group.as_dict()
@@ -263,6 +314,37 @@ class EngineMetrics:
             "# HELP repro_query_failures_total Queries that raised.",
             "# TYPE repro_query_failures_total counter",
             f"repro_query_failures_total {snap['failures']}",
+            "# HELP repro_timeouts_total Queries that exceeded their deadline.",
+            "# TYPE repro_timeouts_total counter",
+            f"repro_timeouts_total {snap['resilience']['timeouts']}",
+        ]
+        lines += [
+            "# HELP repro_retries_total Recovery retries by trigger.",
+            "# TYPE repro_retries_total counter",
+        ]
+        for reason, count in snap["resilience"]["retries"].items():
+            lines.append(
+                f'repro_retries_total{{reason="{_prom_label(reason)}"}} {count}'
+            )
+        lines += [
+            "# HELP repro_degradations_total Backend downgrades by route.",
+            "# TYPE repro_degradations_total counter",
+        ]
+        for entry in snap["resilience"]["degradations"]:
+            lines.append(
+                f'repro_degradations_total{{source="{_prom_label(entry["source"])}"'
+                f',target="{_prom_label(entry["target"])}"'
+                f',reason="{_prom_label(entry["reason"])}"}} {entry["count"]}'
+            )
+        lines += [
+            "# HELP repro_corruptions_total Corruptions detected by site.",
+            "# TYPE repro_corruptions_total counter",
+        ]
+        for site, count in snap["resilience"]["corruptions"].items():
+            lines.append(
+                f'repro_corruptions_total{{site="{_prom_label(site)}"}} {count}'
+            )
+        lines += [
             "# HELP repro_query_latency_ms Query latency percentiles (milliseconds).",
             "# TYPE repro_query_latency_ms gauge",
         ]

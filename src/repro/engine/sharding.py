@@ -41,9 +41,15 @@ materialization at global length.
 from __future__ import annotations
 
 import atexit
+import logging
 import multiprocessing
+import os
+import secrets
 import time
+import weakref
+import zlib
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory
 
@@ -56,7 +62,15 @@ from repro.core.decomposition import Base
 from repro.core.encoding import EncodingScheme
 from repro.core.evaluation import Predicate, evaluate
 from repro.core.index import BitmapIndex
-from repro.errors import EngineConfigError, ValueOutOfRangeError
+from repro.errors import (
+    CorruptShardError,
+    EngineConfigError,
+    InjectedFaultError,
+    QueryTimeoutError,
+    ShmAttachError,
+    ValueOutOfRangeError,
+)
+from repro.faults import Deadline, FaultPlan
 from repro.query.expression import (
     And,
     Between,
@@ -75,6 +89,59 @@ _CODEC_CLASSES: dict[str, type] = {"wah": WahBitVector, "roaring": RoaringBitmap
 
 #: Execution backends the engine can route a batch through.
 BACKENDS = ("inline", "threads", "processes")
+
+log = logging.getLogger("repro.engine.sharding")
+
+#: Recognizable shared-memory name prefix: ``repro-shm-<pid>-<nonce>``.
+#: The embedded owner pid is what lets :func:`sweep_orphan_segments`
+#: reclaim segments whose publishing process died without cleanup.
+_SHM_PREFIX = "repro-shm"
+
+
+def _segment_name() -> str:
+    return f"{_SHM_PREFIX}-{os.getpid()}-{secrets.token_hex(4)}"
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, owned by another user
+        return True
+    return True
+
+
+def sweep_orphan_segments(shm_dir: str = "/dev/shm") -> list[str]:
+    """Unlink shared-memory segments left behind by dead publishers.
+
+    Scans ``shm_dir`` for ``repro-shm-<pid>-*`` names whose owning pid no
+    longer exists and removes them; segments of live processes (including
+    this one) are never touched.  Returns the reclaimed names.  A no-op
+    on platforms without a POSIX shm directory.
+    """
+    if not os.path.isdir(shm_dir):  # pragma: no cover - non-POSIX platform
+        return []
+    reclaimed = []
+    for name in os.listdir(shm_dir):
+        if not name.startswith(_SHM_PREFIX + "-"):
+            continue
+        parts = name.split("-")
+        if len(parts) < 4 or not parts[2].isdigit():
+            continue
+        pid = int(parts[2])
+        if pid == os.getpid() or _pid_alive(pid):
+            continue
+        try:
+            os.unlink(os.path.join(shm_dir, name))
+        except FileNotFoundError:
+            continue
+        except OSError as exc:  # pragma: no cover - permissions
+            log.warning("could not reclaim orphan shm segment %s: %s", name, exc)
+            continue
+        log.info("reclaimed orphan shm segment %s (dead pid %d)", name, pid)
+        reclaimed.append(name)
+    return reclaimed
 
 
 # ----------------------------------------------------------------------
@@ -469,19 +536,25 @@ class ShardManifest:
     cardinality: int
     base: Base
     encoding: EncodingScheme
-    entries: dict  # (component, slot) -> (offset, length)
-    nonnull: tuple | None  # (offset, length) when the shard tracks nulls
+    entries: dict  # (component, slot) -> (offset, length, crc32)
+    nonnull: tuple | None  # (offset, length, crc32) when tracking nulls
 
 
 def _serialize_shard(index: BitmapIndex, codec: str):
-    """Flatten a shard index's stored bitmaps into one aligned buffer."""
+    """Flatten a shard index's stored bitmaps into one aligned buffer.
+
+    Every entry records the CRC-32 of its payload bytes alongside the
+    offset and length, so workers can verify a publication at attach
+    time and a torn or bit-flipped segment surfaces as a typed
+    :class:`~repro.errors.CorruptShardError` instead of wrong answers.
+    """
     chunks: list[bytes] = []
     entries: dict = {}
     offset = 0
 
     def add(key, data: bytes):
         nonlocal offset
-        entries[key] = (offset, len(data))
+        entries[key] = (offset, len(data), zlib.crc32(data))
         chunks.append(data)
         offset += len(data)
         pad = (-len(data)) % _ALIGN
@@ -505,18 +578,51 @@ def _serialize_shard(index: BitmapIndex, codec: str):
     return entries, nonnull_entry, b"".join(chunks)
 
 
+#: Live exports, swept at interpreter exit so a crashing parent leaves
+#: no named segments behind.  WeakSet: a garbage-collected export drops
+#: out on its own (its ``__del__`` already unlinked the segments).
+_LIVE_EXPORTS: "weakref.WeakSet[ShardExport]" = weakref.WeakSet()
+_EXPORT_SWEEP_REGISTERED = False
+
+
+def _close_live_exports() -> None:  # pragma: no cover - runs at exit
+    for export in list(_LIVE_EXPORTS):
+        try:
+            export.close()
+        except Exception:
+            pass
+
+
+def _create_segment(size: int) -> shared_memory.SharedMemory:
+    """A named segment ``repro-shm-<pid>-<nonce>``, retrying collisions."""
+    for _ in range(8):
+        try:
+            return shared_memory.SharedMemory(
+                name=_segment_name(), create=True, size=size
+            )
+        except FileExistsError:  # pragma: no cover - 32-bit nonce collision
+            continue
+    # Out of luck with named segments; let the stdlib pick (such a
+    # segment is invisible to the orphan sweep, but never colliding).
+    return shared_memory.SharedMemory(create=True, size=size)  # pragma: no cover
+
+
 class ShardExport:
     """Owner-side handle of one sharded index published to shared memory.
 
     One :class:`~multiprocessing.shared_memory.SharedMemory` block per
-    shard, holding every stored bitmap in the requested codec.  The
-    export pins the source index's :attr:`~ShardedBitmapIndex.version`;
-    the publisher re-exports when maintenance has bumped it.  Call
-    :meth:`close` (or let the engine's ``close()``) to unlink the
-    blocks.
+    shard, holding every stored bitmap in the requested codec.  Segments
+    carry recognizable names (``repro-shm-<pid>-<nonce>``) so
+    :func:`sweep_orphan_segments` can reclaim them if this process dies
+    without cleanup; live exports are also swept by an ``atexit`` hook.
+    The export pins the source index's
+    :attr:`~ShardedBitmapIndex.version`; the publisher re-exports when
+    maintenance has bumped it.  Call :meth:`close` (or let the engine's
+    ``close()``) to unlink the blocks.
     """
 
     def __init__(self, sharded: ShardedBitmapIndex, codec: str):
+        global _EXPORT_SWEEP_REGISTERED
         if codec != "dense" and codec not in _CODEC_CLASSES:
             known = ", ".join(("dense", *sorted(_CODEC_CLASSES)))
             raise EngineConfigError(
@@ -529,9 +635,7 @@ class ShardExport:
         try:
             for (start, stop), index in zip(sharded.bounds, sharded.indexes):
                 entries, nonnull_entry, payload = _serialize_shard(index, codec)
-                segment = shared_memory.SharedMemory(
-                    create=True, size=max(1, len(payload))
-                )
+                segment = _create_segment(max(1, len(payload)))
                 segment.buf[: len(payload)] = payload
                 self._segments.append(segment)
                 self.manifests.append(
@@ -551,6 +655,10 @@ class ShardExport:
         except Exception:
             self.close()
             raise
+        _LIVE_EXPORTS.add(self)
+        if not _EXPORT_SWEEP_REGISTERED:
+            atexit.register(_close_live_exports)
+            _EXPORT_SWEEP_REGISTERED = True
 
     @property
     def num_shards(self) -> int:
@@ -561,15 +669,47 @@ class ShardExport:
         """Total shared-memory bytes held by this publication."""
         return sum(segment.size for segment in self._segments)
 
+    def corrupt_byte(self, shard: int, offset: int | None = None) -> int:
+        """Flip one payload byte of a shard's segment (fault injection).
+
+        With ``offset=None`` the first byte of the shard's first entry is
+        flipped, which the CRC at attach time is guaranteed to catch.
+        Returns the offset flipped.  Test/chaos helper — never called on
+        the serving path.
+        """
+        segment = self._segments[shard]
+        if offset is None:
+            manifest = self.manifests[shard]
+            entry = (
+                min(manifest.entries.values())
+                if manifest.entries
+                else manifest.nonnull
+            )
+            if entry is None:
+                raise EngineConfigError("shard publishes no bitmap entries")
+            offset = entry[0]
+        segment.buf[offset] ^= 0xFF
+        return offset
+
     def close(self) -> None:
-        """Release and unlink every shared-memory block (idempotent)."""
+        """Release and unlink every shared-memory block (idempotent).
+
+        Unlink failures are *logged*, never swallowed silently: a
+        missing segment (already reclaimed) is a debug note, anything
+        else is a warning with the segment name so a leak is traceable.
+        """
         segments, self._segments = self._segments, []
         for segment in segments:
             try:
                 segment.close()
+            except BufferError:  # pragma: no cover - stray external views
+                log.warning("segment %s still has exported views", segment.name)
+            try:
                 segment.unlink()
-            except (FileNotFoundError, OSError):  # pragma: no cover - cleanup
-                pass
+            except FileNotFoundError:
+                log.debug("segment %s already unlinked", segment.name)
+            except OSError as exc:  # pragma: no cover - platform-specific
+                log.warning("could not unlink segment %s: %s", segment.name, exc)
 
     def __del__(self):  # pragma: no cover - best-effort cleanup
         try:
@@ -597,6 +737,15 @@ class _AttachedShard:
     WAH/Roaring payloads are reconstructed from their serialized form on
     first fetch and memoized.  Every fetch charges one scan at the
     payload size, mirroring :meth:`BitmapIndex.fetch`.
+
+    A failed attach (the segment vanished — publisher died or was swept)
+    raises :class:`~repro.errors.ShmAttachError`; *every* payload is
+    CRC-verified against its manifest at attach time, and a mismatch
+    raises :class:`~repro.errors.CorruptShardError` — a torn or
+    bit-flipped publication becomes a typed error before any query is
+    served from it, never a wrong answer.  Verification reads each
+    entry's bytes once per worker; dense entries still serve zero-copy
+    views afterwards.
     """
 
     def __init__(self, manifest: ShardManifest):
@@ -605,7 +754,13 @@ class _AttachedShard:
         # process, so the second register is a set no-op and the owner's
         # unlink unregisters exactly once.  Do NOT unregister here: that
         # would strip the owner's registration from the shared tracker.
-        self._shm = shared_memory.SharedMemory(name=manifest.shm_name)
+        try:
+            self._shm = shared_memory.SharedMemory(name=manifest.shm_name)
+        except FileNotFoundError:
+            raise ShmAttachError(
+                f"shared-memory segment {manifest.shm_name!r} is gone; "
+                f"the publication must be rebuilt"
+            ) from None
         self._manifest = manifest
         self._bitmaps: dict = {}
         self.nbits = manifest.nbits
@@ -615,12 +770,27 @@ class _AttachedShard:
         self.bitmap_codec = manifest.codec
         self.compressed = manifest.codec != "dense"
         self.row_start = manifest.row_start
+        self._verify(manifest)
         self.nonnull = (
             self._load(manifest.nonnull) if manifest.nonnull is not None else None
         )
 
+    def _verify(self, manifest: ShardManifest) -> None:
+        """CRC-check every published entry against the manifest."""
+        entries = list(manifest.entries.values())
+        if manifest.nonnull is not None:
+            entries.append(manifest.nonnull)
+        for offset, length, crc in entries:
+            payload = bytes(self._shm.buf[offset : offset + length])
+            if zlib.crc32(payload) != crc:
+                self._shm.close()
+                raise CorruptShardError(
+                    f"segment {manifest.shm_name!r}: checksum mismatch at "
+                    f"offset {offset} (+{length} bytes)"
+                )
+
     def _load(self, entry):
-        offset, length = entry
+        offset, length, _ = entry
         if self.bitmap_codec == "dense":
             words = np.frombuffer(
                 self._shm.buf, dtype=np.uint64, count=length // 8, offset=offset
@@ -703,6 +873,8 @@ def _run_shard_task(
     manifests: dict,
     items: list,
     algorithm: str,
+    faults: tuple = (),
+    deadline: tuple | None = None,
 ) -> list:
     """Evaluate a batch of code-domain queries against one shard.
 
@@ -712,11 +884,31 @@ def _run_shard_task(
     ``("pred", attribute, op, code)`` or ``("expr", attributes,
     code_expression)``.  Returns ``(qid, local_rids, stat_tuple,
     seconds)`` per item.
+
+    ``faults`` carries plain-string directives decided *parent-side* by
+    the engine's :class:`~repro.faults.FaultPlan` (the counters must not
+    live in a worker — a crash would reset them and the fault would
+    re-fire on every retry): ``"worker-crash"`` hard-kills the process,
+    ``"worker-error"`` raises :class:`~repro.errors.InjectedFaultError`,
+    ``"attach-error"`` simulates a vanished segment.  ``deadline`` is a
+    ``(deadline_ms, expires_at)`` pair — the *absolute* monotonic expiry
+    crosses the process boundary intact (CLOCK_MONOTONIC is system-wide
+    here), so time spent queued counts against the budget.
     """
+    if "worker-crash" in faults:  # pragma: no cover - kills the process
+        os._exit(13)
+    if "attach-error" in faults:
+        raise ShmAttachError("injected shm attach failure")
+    if "worker-error" in faults:
+        raise InjectedFaultError("injected worker execution failure")
+    budget = Deadline(deadline[0], expires_at=deadline[1]) if deadline else None
     sources = {key: _attach(manifest) for key, manifest in manifests.items()}
     out = []
     for qid, relation_name, payload in items:
+        if budget is not None:
+            budget.check("shard-task")
         stats = ExecutionStats()
+        stats.deadline = budget
         started = time.perf_counter()
         if payload[0] == "pred":
             _, attribute, op, code = payload
@@ -794,6 +986,9 @@ class ProcessShardExecutor:
         exports: dict,
         items: list,
         algorithm: str = "auto",
+        *,
+        fault_plan: FaultPlan | None = None,
+        deadline: Deadline | None = None,
     ) -> list[ShardQueryOutcome]:
         """Run a batch of code-domain queries across every shard.
 
@@ -803,27 +998,80 @@ class ProcessShardExecutor:
         ``items`` is the ``(qid, relation, payload)`` list of
         :func:`_run_shard_task`.  Returns one
         :class:`ShardQueryOutcome` per item, in item order.
+
+        ``fault_plan`` injects at the ``worker.execute`` and
+        ``shm.attach`` seams (ident ``"shard:<n>"``): the plan's
+        counters advance *here*, in the parent, and only string
+        directives ship to workers — so a ``count=1`` crash fires once
+        even though the worker that received it died.  ``deadline``
+        bounds the dispatch: the remaining budget ships to workers for
+        cooperative checks and also caps the parent-side
+        ``future.result`` wait, so even a wedged worker cannot hang the
+        caller past the budget (plus a small collection grace).
         """
         if not items:
             return []
+        if deadline is not None:
+            deadline.check("dispatch")
         num_shards = {export.num_shards for export in exports.values()}
         if len(num_shards) != 1:
             raise EngineConfigError(
                 f"exports disagree on shard count: {sorted(num_shards)}"
             )
         (shards,) = num_shards
+        budget = (
+            (deadline.deadline_ms, deadline.expires_at)
+            if deadline is not None
+            else None
+        )
         futures = []
         for shard in range(shards):
+            faults = []
+            if fault_plan is not None:
+                ident = f"shard:{shard}"
+                spec = fault_plan.check("worker.execute", ident=ident)
+                if spec is not None:
+                    faults.append(f"worker-{spec.kind}")
+                spec = fault_plan.check("shm.attach", ident=ident)
+                if spec is not None:
+                    if spec.kind == "corrupt":
+                        # Flip a payload byte in the real segment: the
+                        # worker's CRC check must catch it at attach.
+                        next(iter(exports.values())).corrupt_byte(shard)
+                    else:
+                        faults.append("attach-error")
             manifests = {
                 key: export.manifests[shard] for key, export in exports.items()
             }
             futures.append(
-                self._pool.submit(_run_shard_task, manifests, items, algorithm)
+                self._pool.submit(
+                    _run_shard_task,
+                    manifests,
+                    items,
+                    algorithm,
+                    tuple(faults),
+                    budget,
+                )
             )
         # per_query[qid] = list of (shard, rids, stats, seconds)
         per_query: dict[int, list] = {qid: [] for qid, _, _ in items}
         for shard, future in enumerate(futures):
-            for qid, rids, stat_tuple, seconds in future.result():
+            if deadline is None:
+                rows = future.result()
+            else:
+                # +0.25 s grace: give a worker that noticed the deadline
+                # itself time to deliver its QueryTimeoutError.
+                try:
+                    rows = future.result(
+                        timeout=deadline.remaining_seconds + 0.25
+                    )
+                except FuturesTimeoutError:
+                    future.cancel()
+                    raise QueryTimeoutError(
+                        f"shard {shard} missed the "
+                        f"{deadline.deadline_ms:g} ms deadline"
+                    ) from None
+            for qid, rids, stat_tuple, seconds in rows:
                 per_query[qid].append((shard, rids, stat_tuple, seconds))
         any_export = next(iter(exports.values()))
         bounds = [

@@ -44,6 +44,51 @@ class CorruptFileError(StorageError):
     """A stored bitmap file failed its integrity checks on read."""
 
 
+class CorruptShardError(CorruptFileError):
+    """A shared-memory shard payload failed its checksum on attach.
+
+    Raised worker-side when a published bitmap's CRC disagrees with the
+    manifest; the engine treats it as a signal to rebuild the publication
+    from the source index and retry.
+    """
+
+
+class ShmAttachError(StorageError):
+    """A worker could not attach a published shared-memory shard.
+
+    Raised when the named segment has vanished (the publisher unlinked or
+    crashed) or when the fault harness injects an attach failure.  The
+    engine retries the dispatch; the publication itself is still owned by
+    the parent, so a fresh attach normally succeeds.
+    """
+
+
+class InjectedFaultError(StorageError):
+    """An error deliberately injected by a :class:`repro.faults.FaultPlan`.
+
+    Distinct from organic failures so chaos tests (and operators reading
+    logs from a fault drill) can tell drills from real incidents.  The
+    engine's recovery path treats it exactly like the organic error it
+    stands in for.
+    """
+
+
+class QueryTimeoutError(ReproError):
+    """A query exceeded its ``QueryOptions.deadline_ms`` budget.
+
+    Raised cooperatively at the evaluator, shard, and storage seams — the
+    query never produces a partial (wrong) answer, it raises instead.
+    When the query ran with tracing enabled the partial
+    :class:`~repro.trace.QueryTrace` collected up to the expiry rides on
+    the ``trace`` attribute (``None`` otherwise, and after crossing a
+    process boundary).
+    """
+
+    def __init__(self, message: str):
+        super().__init__(message)
+        self.trace = None
+
+
 class BufferConfigError(ReproError, ValueError):
     """A buffer assignment is not well-defined for the index it targets."""
 

@@ -19,6 +19,7 @@ import numpy as np
 from repro.core.evaluation import Predicate, evaluate
 from repro.core.index import BitmapIndex, BitmapSource
 from repro.errors import InvalidPredicateError, ReproError
+from repro.faults import Deadline
 from repro.query.options import UNSET, QueryOptions, resolve_options
 from repro.query.predicate import AttributePredicate
 from repro.relation.projection import ProjectionIndex
@@ -68,6 +69,7 @@ def execute(
     *,
     options: QueryOptions | None = None,
     trace: QueryTrace | None = None,
+    deadline=None,
 ) -> QueryResult:
     """Evaluate ``predicate`` on ``relation`` via the chosen access path.
 
@@ -83,15 +85,22 @@ def execute(
     :class:`~repro.trace.QueryTrace` through the evaluation (the engine
     passes its own); with ``options.trace`` and no ``trace`` a fresh one
     is created.  Either way the trace is attached to the returned
-    :class:`QueryResult`.
+    :class:`QueryResult`.  ``deadline`` threads an existing
+    :class:`~repro.faults.Deadline` through the evaluation (the engine
+    creates one from ``options.deadline_ms``); the evaluator and storage
+    seams check it and raise :class:`~repro.errors.QueryTimeoutError`
+    once the budget is gone.
     """
     options = resolve_options(
         options, verify, default_verify=True, owner="execute()"
     )
     if trace is None and options.trace:
         trace = QueryTrace(label=str(predicate))
+    if deadline is None and options.deadline_ms is not None:
+        deadline = Deadline(options.deadline_ms)
     stats = ExecutionStats()
     stats.trace = trace
+    stats.deadline = deadline
     column = relation.column(predicate.attribute)
 
     if access_path is AccessPath.SCAN:

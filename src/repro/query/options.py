@@ -55,6 +55,15 @@ class QueryOptions:
         Row-range shard count for the process backend (``None`` = the
         engine's configured default, which itself defaults to the worker
         count).  Ignored by the inline and thread backends.
+    deadline_ms:
+        Cooperative wall-clock budget in milliseconds (``None`` = no
+        deadline).  The budget is checked at the evaluator, storage, and
+        shard seams; a query that outlives it raises
+        :class:`~repro.errors.QueryTimeoutError` (with the partial trace
+        attached when tracing was on) instead of serving late.  On the
+        inline and thread backends each query gets its own budget; the
+        process backend treats it as a per-dispatch budget since shards
+        of a batch evaluate together.
     """
 
     verify: bool = False
@@ -64,6 +73,7 @@ class QueryOptions:
     codec: str | None = None
     backend: str | None = None
     shards: int | None = None
+    deadline_ms: float | None = None
 
     def with_(self, **overrides) -> "QueryOptions":
         """A copy with the given fields replaced."""

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults import Deadline
     from repro.trace import QueryTrace
 
 
@@ -42,6 +43,13 @@ class ExecutionStats:
         (the default) is the untraced hot path: each instrumentation site
         is gated on one attribute read.  The trace rides along one query
         and is never merged or copied with the counters.
+    deadline:
+        Optional :class:`~repro.faults.Deadline` threaded the same way as
+        ``trace``: ``None`` on the unbudgeted hot path, a cooperative
+        budget when the caller passed ``QueryOptions(deadline_ms=...)``.
+        Seams check it and raise
+        :class:`~repro.errors.QueryTimeoutError` once expired.  Like the
+        trace, it rides along one query and is never merged or copied.
     """
 
     scans: int = 0
@@ -56,6 +64,7 @@ class ExecutionStats:
     io_seconds: float = field(default=0.0, repr=False)
     cpu_seconds: float = field(default=0.0, repr=False)
     trace: "QueryTrace | None" = field(default=None, repr=False, compare=False)
+    deadline: "Deadline | None" = field(default=None, repr=False, compare=False)
 
     @property
     def ops(self) -> int:

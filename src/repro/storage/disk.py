@@ -9,15 +9,22 @@ Relative costs between storage schemes — the quantity the paper's
 conclusions rest on — are preserved exactly because the byte volumes and
 file-scan counts are exact.
 
-The disk also supports *failure injection* (truncation, byte corruption)
-so the test suite can exercise the storage layer's integrity checks.
+The disk also supports *failure injection*: the direct helpers
+(truncation, byte corruption) and, via an optional
+:class:`repro.faults.FaultPlan`, deterministic read faults at the
+``disk.read`` seam — so the test suite and the chaos harness can
+exercise the storage layer's integrity checks on either disk backend.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from repro.errors import FileMissingError
+from repro.errors import FileMissingError, InjectedFaultError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -71,10 +78,16 @@ class DiskStats:
 class SimulatedDisk:
     """A dictionary-of-files disk with exact transfer accounting."""
 
-    def __init__(self, model: DiskModel | None = None):
+    def __init__(
+        self,
+        model: DiskModel | None = None,
+        *,
+        fault_plan: "FaultPlan | None" = None,
+    ):
         self._files: dict[str, bytes] = {}
         self.model = model if model is not None else DiskModel()
         self.stats = DiskStats()
+        self.fault_plan = fault_plan
 
     # ------------------------------------------------------------------
     # File operations
@@ -92,6 +105,18 @@ class SimulatedDisk:
             data = self._files[path]
         except KeyError:
             raise FileMissingError(f"no such bitmap file: {path}") from None
+        if self.fault_plan is not None:
+            spec = self.fault_plan.check("disk.read", ident=path)
+            if spec is not None:
+                if spec.kind == "error":
+                    raise InjectedFaultError(f"injected read error on {path}")
+                if spec.kind == "torn":
+                    data = data[: len(data) // 2]
+                elif spec.kind == "corrupt" and data:
+                    mutated = bytearray(data)
+                    offset = self.fault_plan.byte_offset(len(mutated))
+                    mutated[offset] ^= 0xFF
+                    data = bytes(mutated)
         self.stats.reads += 1
         self.stats.bytes_read += len(data)
         return data

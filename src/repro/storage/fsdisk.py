@@ -8,14 +8,52 @@ schemes work against either interchangeably.
 Logical paths (``"myindex/c1_s0"``) map to files under the root
 directory; path components are validated so a hostile manifest cannot
 escape the root.
+
+Durability and integrity
+------------------------
+Writes are **crash-atomic**: data lands in a temporary file in the same
+directory, is fsynced, and is moved into place with ``os.replace`` — a
+crash mid-write can leave a stray temp file but never a torn bitmap
+file.  Every file is framed with a CRC-32 checksum header (``checksums``
+constructor flag, default on); reads verify the frame and raise
+:class:`~repro.errors.CorruptFileError` on a torn or bit-flipped
+payload instead of handing corrupt bytes to a codec.  :meth:`scrub`
+sweeps a
+prefix for corruption and :meth:`quarantine` moves a bad file aside (to
+``.quarantine/`` under the root) so a rebuild can proceed while the
+evidence survives for inspection.
+
+Fault injection
+---------------
+Beyond the direct ``truncate``/``corrupt_byte`` helpers, the backend
+accepts a :class:`repro.faults.FaultPlan` and consults its
+``disk.read``/``disk.write`` seams, so chaos tests can inject read
+errors, torn reads, bit flips, and mid-write crashes deterministically.
 """
 
 from __future__ import annotations
 
+import logging
 import os
+import struct
+import tempfile
+import zlib
 
-from repro.errors import FileMissingError, StorageError
+from repro.errors import (
+    CorruptFileError,
+    FileMissingError,
+    InjectedFaultError,
+    StorageError,
+)
+from repro.faults import FaultPlan
 from repro.storage.disk import DiskModel, DiskStats
+
+log = logging.getLogger("repro.storage.fsdisk")
+
+#: Frame header: magic + CRC-32 of the payload + payload length.
+_MAGIC = b"\x89RBF"
+_HEADER = struct.Struct("<4sIQ")
+_QUARANTINE_DIR = ".quarantine"
 
 
 class FileSystemDisk:
@@ -25,13 +63,26 @@ class FileSystemDisk:
     exists / delete / list_files / size_of / total_bytes plus the
     failure-injection helpers), so :func:`repro.storage.schemes.write_index`
     and :func:`~repro.storage.schemes.open_scheme` accept either.
+
+    ``stats`` and ``size_of``/``total_bytes`` account *logical* payload
+    bytes (what the caller wrote), not the physical frame, matching the
+    simulated disk's semantics exactly.
     """
 
-    def __init__(self, root: str, model: DiskModel | None = None):
+    def __init__(
+        self,
+        root: str,
+        model: DiskModel | None = None,
+        *,
+        checksums: bool = True,
+        fault_plan: FaultPlan | None = None,
+    ):
         self.root = os.path.abspath(root)
         os.makedirs(self.root, exist_ok=True)
         self.model = model if model is not None else DiskModel()
         self.stats = DiskStats()
+        self.checksums = checksums
+        self.fault_plan = fault_plan
 
     # ------------------------------------------------------------------
 
@@ -42,11 +93,73 @@ class FileSystemDisk:
                 raise StorageError(f"illegal path component in {path!r}")
         return os.path.join(self.root, *parts)
 
+    @staticmethod
+    def _frame(data: bytes) -> bytes:
+        return _HEADER.pack(_MAGIC, zlib.crc32(data), len(data)) + data
+
+    def _unframe(self, path: str, raw: bytes) -> bytes:
+        """Verify and strip the checksum frame.
+
+        With ``checksums`` off the disk is a raw store and bytes pass
+        through untouched.  With it on, every file must carry an intact
+        frame — a missing or mangled header is indistinguishable from
+        header corruption and is reported as such (directories written
+        with ``checksums=False`` must be opened the same way).
+        """
+        if not self.checksums:
+            return raw
+        if len(raw) < _HEADER.size or raw[:4] != _MAGIC:
+            raise CorruptFileError(
+                f"{path}: missing or corrupt checksum frame header"
+            )
+        _, crc, length = _HEADER.unpack_from(raw)
+        payload = raw[_HEADER.size :]
+        if len(payload) != length:
+            raise CorruptFileError(
+                f"{path}: torn file — header promises {length} payload "
+                f"bytes, found {len(payload)}"
+            )
+        if zlib.crc32(payload) != crc:
+            raise CorruptFileError(f"{path}: checksum mismatch")
+        return payload
+
     def write(self, path: str, data: bytes) -> None:
+        """Atomically create or replace a file (temp + fsync + rename)."""
         full = self._resolve(path)
-        os.makedirs(os.path.dirname(full), exist_ok=True)
-        with open(full, "wb") as handle:
-            handle.write(data)
+        directory = os.path.dirname(full)
+        os.makedirs(directory, exist_ok=True)
+        blob = self._frame(data) if self.checksums else bytes(data)
+        fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+                handle.flush()
+                os.fsync(handle.fileno())
+            if self.fault_plan is not None:
+                spec = self.fault_plan.check("disk.write", ident=path)
+                if spec is not None:
+                    # A simulated crash after the temp write, before the
+                    # rename: the previous contents must stay intact.
+                    raise InjectedFaultError(
+                        f"injected write failure before rename of {path}"
+                    )
+            os.replace(tmp, full)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except FileNotFoundError:
+                pass
+            raise
+        try:
+            # Persist the rename itself; without the directory fsync a
+            # power loss can forget the replace while keeping the data.
+            dir_fd = os.open(directory, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
         self.stats.writes += 1
         self.stats.bytes_written += len(data)
 
@@ -54,9 +167,22 @@ class FileSystemDisk:
         full = self._resolve(path)
         try:
             with open(full, "rb") as handle:
-                data = handle.read()
+                raw = handle.read()
         except FileNotFoundError:
             raise FileMissingError(f"no such bitmap file: {path}") from None
+        if self.fault_plan is not None:
+            spec = self.fault_plan.check("disk.read", ident=path)
+            if spec is not None:
+                if spec.kind == "error":
+                    raise InjectedFaultError(f"injected read error on {path}")
+                if spec.kind == "torn":
+                    raw = raw[: len(raw) // 2]
+                elif spec.kind == "corrupt" and raw:
+                    mutated = bytearray(raw)
+                    offset = self.fault_plan.byte_offset(len(mutated))
+                    mutated[offset] ^= 0xFF
+                    raw = bytes(mutated)
+        data = self._unframe(path, raw)
         self.stats.reads += 1
         self.stats.bytes_read += len(data)
         return data
@@ -72,8 +198,11 @@ class FileSystemDisk:
 
     def list_files(self, prefix: str = "") -> list[str]:
         found = []
-        for dirpath, _, filenames in os.walk(self.root):
+        for dirpath, dirnames, filenames in os.walk(self.root):
+            dirnames[:] = [d for d in dirnames if d != _QUARANTINE_DIR]
             for name in filenames:
+                if name.startswith(".tmp-"):
+                    continue
                 rel = os.path.relpath(os.path.join(dirpath, name), self.root)
                 logical = rel.replace(os.sep, "/")
                 if logical.startswith(prefix):
@@ -81,19 +210,83 @@ class FileSystemDisk:
         return sorted(found)
 
     def size_of(self, path: str) -> int:
+        full = self._resolve(path)
         try:
-            return os.path.getsize(self._resolve(path))
+            physical = os.path.getsize(full)
+            with open(full, "rb") as handle:
+                head = handle.read(len(_MAGIC))
         except FileNotFoundError:
             raise FileMissingError(f"no such bitmap file: {path}") from None
+        if physical >= _HEADER.size and head == _MAGIC:
+            return physical - _HEADER.size
+        return physical
 
     def total_bytes(self, prefix: str = "") -> int:
         return sum(self.size_of(p) for p in self.list_files(prefix))
+
+    # ------------------------------------------------------------------
+    # Corruption quarantine
+    # ------------------------------------------------------------------
+
+    def verify(self, path: str) -> bool:
+        """Does the file read back intact?  (No transfer is recorded.)"""
+        full = self._resolve(path)
+        try:
+            with open(full, "rb") as handle:
+                raw = handle.read()
+        except FileNotFoundError:
+            raise FileMissingError(f"no such bitmap file: {path}") from None
+        try:
+            self._unframe(path, raw)
+        except CorruptFileError:
+            return False
+        return True
+
+    def quarantine(self, path: str) -> str:
+        """Move a (presumably corrupt) file into ``.quarantine/``.
+
+        The original path stops existing — a rebuild can rewrite it —
+        while the bad bytes survive for inspection.  Returns the
+        filesystem path of the quarantined copy.
+        """
+        full = self._resolve(path)
+        if not os.path.isfile(full):
+            raise FileMissingError(f"no such bitmap file: {path}")
+        shelter = os.path.join(self.root, _QUARANTINE_DIR)
+        os.makedirs(shelter, exist_ok=True)
+        target = os.path.join(shelter, path.replace("/", "__"))
+        suffix = 0
+        while os.path.exists(target):
+            suffix += 1
+            target = os.path.join(
+                shelter, f"{path.replace('/', '__')}.{suffix}"
+            )
+        os.replace(full, target)
+        log.warning("quarantined corrupt bitmap file %s -> %s", path, target)
+        return target
+
+    def scrub(self, prefix: str = "", quarantine: bool = True) -> list[str]:
+        """Verify every file under ``prefix``; returns the corrupt ones.
+
+        With ``quarantine=True`` (default) each corrupt file is moved to
+        ``.quarantine/`` as it is found, so the paths in the returned
+        list no longer exist and can be rebuilt from source.
+        """
+        corrupt = []
+        for path in self.list_files(prefix):
+            if not self.verify(path):
+                corrupt.append(path)
+                if quarantine:
+                    self.quarantine(path)
+        return corrupt
 
     # ------------------------------------------------------------------
     # Failure injection (parity with SimulatedDisk, used by tests)
     # ------------------------------------------------------------------
 
     def truncate(self, path: str, nbytes: int) -> None:
+        """Cut the *physical* file to ``nbytes`` (simulates a torn write
+        from a pre-atomic-rename era; checksummed reads detect it)."""
         full = self._resolve(path)
         if not os.path.isfile(full):
             raise FileMissingError(f"no such bitmap file: {path}")
@@ -101,6 +294,7 @@ class FileSystemDisk:
             handle.truncate(nbytes)
 
     def corrupt_byte(self, path: str, offset: int, xor_with: int = 0xFF) -> None:
+        """Flip bits of one byte of the physical file (media corruption)."""
         full = self._resolve(path)
         if not os.path.isfile(full):
             raise FileMissingError(f"no such bitmap file: {path}")

@@ -32,6 +32,8 @@ op        logical bitmap operations (and/or/xor/not, k-way merges)
 decode    codec decompression on the read path
 io        modeled disk waits on engine cache misses
 shard     per-shard evaluation on the process backend (worker-timed)
+fault     resilience events: dispatch retries, backend degradations,
+          deadline expiry (``dispatch.retry``, ``deadline.exceeded``)
 ========  ==============================================================
 
 A trace is owned by one query on one thread; it is not thread-safe and is

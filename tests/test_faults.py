@@ -1,0 +1,155 @@
+"""Unit tests for the deterministic fault-injection harness and deadlines."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import EngineConfigError, QueryTimeoutError
+from repro.faults import SEAM_KINDS, Deadline, FaultPlan, FaultSpec
+
+
+class TestFaultSpecValidation:
+    def test_unknown_seam_rejected(self):
+        with pytest.raises(EngineConfigError, match="unknown fault seam"):
+            FaultSpec("disk.levitate", "error")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(EngineConfigError, match="does not support"):
+            FaultSpec("disk.read", "crash")
+
+    @pytest.mark.parametrize("seam,kinds", sorted(SEAM_KINDS.items()))
+    def test_every_documented_kind_constructs(self, seam, kinds):
+        for kind in kinds:
+            FaultSpec(seam, kind)
+
+    def test_nth_must_be_positive(self):
+        with pytest.raises(EngineConfigError):
+            FaultSpec("disk.read", "error", nth=0)
+
+    def test_count_zero_rejected(self):
+        with pytest.raises(EngineConfigError):
+            FaultSpec("disk.read", "error", count=0)
+
+    def test_plan_rejects_non_specs(self):
+        with pytest.raises(EngineConfigError):
+            FaultPlan(["disk.read"])  # type: ignore[list-item]
+
+
+class TestFaultPlanFiring:
+    def test_fires_on_nth_call(self):
+        plan = FaultPlan([FaultSpec("disk.read", "error", nth=3)])
+        assert plan.check("disk.read") is None
+        assert plan.check("disk.read") is None
+        assert plan.check("disk.read") is not None
+        assert plan.check("disk.read") is None  # count=1: one-shot
+
+    def test_count_window(self):
+        plan = FaultPlan([FaultSpec("disk.read", "error", nth=2, count=2)])
+        fired = [plan.check("disk.read") is not None for _ in range(5)]
+        assert fired == [False, True, True, False, False]
+
+    def test_count_forever(self):
+        plan = FaultPlan([FaultSpec("disk.read", "error", count=-1)])
+        assert all(plan.check("disk.read") is not None for _ in range(10))
+
+    def test_match_filters_ident(self):
+        plan = FaultPlan([FaultSpec("disk.read", "error", match="idx/")])
+        assert plan.check("disk.read", ident="other") is None
+        assert plan.check("disk.read", ident="idx/c1_s0") is not None
+
+    def test_seams_count_independently(self):
+        plan = FaultPlan(
+            [
+                FaultSpec("disk.read", "error", nth=2),
+                FaultSpec("cache.get", "miss", nth=1),
+            ]
+        )
+        assert plan.check("cache.get") is not None
+        assert plan.check("disk.read") is None
+        assert plan.check("disk.read") is not None
+
+    def test_first_spec_wins_but_all_counters_advance(self):
+        plan = FaultPlan(
+            [
+                FaultSpec("disk.read", "torn", nth=1),
+                FaultSpec("disk.read", "corrupt", nth=2),
+            ]
+        )
+        assert plan.check("disk.read").kind == "torn"
+        # Both counters saw call 1, so the second spec fires on call 2.
+        assert plan.check("disk.read").kind == "corrupt"
+
+    def test_injection_log_and_snapshot(self):
+        plan = FaultPlan([FaultSpec("disk.read", "error")], seed=9)
+        plan.check("disk.read", ident="idx/a")
+        snap = plan.snapshot()
+        assert snap["seed"] == 9
+        assert snap["fired"] == 1
+        assert snap["by_seam"] == {"disk.read": 1}
+        assert snap["injections"] == [
+            {"seam": "disk.read", "kind": "error", "ident": "idx/a"}
+        ]
+
+    def test_reset_rearms(self):
+        plan = FaultPlan([FaultSpec("disk.read", "error", nth=1)])
+        assert plan.check("disk.read") is not None
+        assert plan.check("disk.read") is None
+        plan.reset()
+        assert plan.check("disk.read") is not None
+        assert len(plan.injections) == 1
+
+    def test_determinism_across_instances(self):
+        def run(seed):
+            plan = FaultPlan(
+                [FaultSpec("disk.read", "corrupt", nth=2, count=3)], seed=seed
+            )
+            fired = []
+            for i in range(6):
+                spec = plan.check("disk.read", ident=f"file-{i}")
+                fired.append((i, spec.kind if spec else None))
+            offsets = [plan.byte_offset(100) for _ in range(3)]
+            return fired, offsets
+
+        assert run(42) == run(42)
+        assert run(42)[1] != run(43)[1]
+
+    def test_byte_offset_in_range(self):
+        plan = FaultPlan([], seed=1)
+        assert plan.byte_offset(0) == 0
+        for length in (1, 2, 1000):
+            assert 0 <= plan.byte_offset(length) < length
+
+
+class TestDeadline:
+    def test_negative_budget_rejected(self):
+        with pytest.raises(EngineConfigError):
+            Deadline(-1.0)
+
+    def test_fresh_budget_not_expired(self):
+        deadline = Deadline(60_000.0)
+        assert not deadline.expired()
+        assert deadline.remaining_ms > 59_000
+        deadline.check("anywhere")  # no raise
+
+    def test_zero_budget_expires_immediately(self):
+        deadline = Deadline(0.0)
+        assert deadline.expired()
+        with pytest.raises(QueryTimeoutError, match="at evaluate"):
+            deadline.check("evaluate")
+
+    def test_explicit_expiry_is_respected(self):
+        past = time.monotonic() - 1.0
+        deadline = Deadline(5_000.0, expires_at=past)
+        assert deadline.expired()
+        assert deadline.remaining_seconds < 0
+
+    def test_timeout_error_pickles(self):
+        # Workers raise QueryTimeoutError across the process boundary.
+        import pickle
+
+        exc = QueryTimeoutError("deadline of 5 ms exceeded at shard-task")
+        clone = pickle.loads(pickle.dumps(exc))
+        assert isinstance(clone, QueryTimeoutError)
+        assert "5 ms" in str(clone)

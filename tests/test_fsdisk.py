@@ -2,11 +2,19 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core.decomposition import Base
 from repro.core.evaluation import Predicate, evaluate
-from repro.errors import CorruptFileError, FileMissingError, StorageError
+from repro.errors import (
+    CorruptFileError,
+    FileMissingError,
+    InjectedFaultError,
+    StorageError,
+)
+from repro.faults import FaultPlan, FaultSpec
 from repro.storage.fsdisk import FileSystemDisk
 from repro.storage.schemes import open_scheme, write_index
 
@@ -62,27 +70,163 @@ class TestBasicOperations:
 
 
 class TestPathSafety:
-    @pytest.mark.parametrize("path", ["../escape", "a/../../b", "a//b", ""])
+    @pytest.mark.parametrize(
+        "path",
+        [
+            "../escape",
+            "a/../../b",
+            "a//b",
+            "",
+            ".",
+            "a/./b",
+            "a/..",
+            "/absolute",
+            "a/" + os.sep + "b" if os.sep != "/" else "a/../b",
+        ],
+    )
     def test_traversal_rejected(self, disk, path):
         with pytest.raises(StorageError):
             disk.write(path, b"x")
+        with pytest.raises(StorageError):
+            disk.read(path)
+
+    def test_resolved_paths_stay_under_root(self, disk):
+        disk.write("deep/nested/file", b"x")
+        target = disk._resolve("deep/nested/file")
+        assert os.path.commonpath([disk.root, target]) == disk.root
+
+
+class TestChecksumFrames:
+    """With checksums on (the default), torn and corrupt files are typed
+    errors at read time instead of garbage handed to a codec."""
+
+    def test_truncate_detected(self, disk):
+        disk.write("f", b"123456")
+        disk.truncate("f", 2)
+        with pytest.raises(CorruptFileError):
+            disk.read("f")
+
+    def test_torn_payload_detected(self, disk):
+        disk.write("f", b"123456")
+        # Cut inside the payload but past the 16-byte header: the header
+        # survives and promises more bytes than remain.
+        disk.truncate("f", 18)
+        with pytest.raises(CorruptFileError, match="torn"):
+            disk.read("f")
+
+    def test_corrupt_byte_detected(self, disk):
+        disk.write("f", b"\x00\x00")
+        disk.corrupt_byte("f", 17)  # a payload byte, past the header
+        with pytest.raises(CorruptFileError, match="checksum mismatch"):
+            disk.read("f")
+
+    def test_corrupt_header_detected(self, disk):
+        disk.write("f", b"payload")
+        disk.corrupt_byte("f", 0)
+        with pytest.raises(CorruptFileError, match="header"):
+            disk.read("f")
+
+    def test_size_of_reports_payload_bytes(self, disk):
+        disk.write("f", b"12345")
+        assert disk.size_of("f") == 5
+        assert disk.total_bytes() == 5
+
+    def test_verify(self, disk):
+        disk.write("f", b"12345")
+        assert disk.verify("f")
+        disk.corrupt_byte("f", 20)
+        assert not disk.verify("f")
+
+    def test_quarantine_moves_file_aside(self, disk):
+        disk.write("idx/c1_s0", b"bits")
+        disk.corrupt_byte("idx/c1_s0", 16)
+        shelter = disk.quarantine("idx/c1_s0")
+        assert not disk.exists("idx/c1_s0")
+        assert os.path.isfile(shelter)
+        assert ".quarantine" in shelter
+        # The path is free for a rebuild.
+        disk.write("idx/c1_s0", b"bits")
+        assert disk.read("idx/c1_s0") == b"bits"
+
+    def test_quarantine_dedups_names(self, disk):
+        for _ in range(2):
+            disk.write("f", b"x")
+            first = disk.quarantine("f")
+        assert os.path.isfile(first)
+        shelter_dir = os.path.dirname(first)
+        assert len(os.listdir(shelter_dir)) == 2
+
+    def test_scrub_finds_and_quarantines(self, disk):
+        disk.write("idx/good", b"fine")
+        disk.write("idx/bad", b"broken")
+        disk.corrupt_byte("idx/bad", 18)
+        corrupt = disk.scrub("idx/")
+        assert corrupt == ["idx/bad"]
+        assert not disk.exists("idx/bad")
+        assert disk.read("idx/good") == b"fine"
+        # Quarantined files are invisible to listing and later scrubs.
+        assert disk.list_files() == ["idx/good"]
+        assert disk.scrub("idx/") == []
+
+
+class TestChecksumsOff:
+    """``checksums=False`` keeps the legacy raw-store behavior."""
+
+    @pytest.fixture
+    def raw(self, tmp_path) -> FileSystemDisk:
+        return FileSystemDisk(str(tmp_path / "raw"), checksums=False)
+
+    def test_truncate_passes_through(self, raw):
+        raw.write("f", b"123456")
+        raw.truncate("f", 2)
+        assert raw.read("f") == b"12"
+
+    def test_corrupt_byte_passes_through(self, raw):
+        raw.write("f", b"\x00\x00")
+        raw.corrupt_byte("f", 1)
+        assert raw.read("f") == b"\x00\xff"
+
+    def test_no_frame_overhead(self, raw, tmp_path):
+        raw.write("f", b"12345")
+        assert os.path.getsize(tmp_path / "raw" / "f") == 5
 
 
 class TestFailureInjection:
-    def test_truncate(self, disk):
-        disk.write("f", b"123456")
-        disk.truncate("f", 2)
-        assert disk.read("f") == b"12"
-
-    def test_corrupt_byte(self, disk):
-        disk.write("f", b"\x00\x00")
-        disk.corrupt_byte("f", 1)
-        assert disk.read("f") == b"\x00\xff"
-
     def test_corrupt_bounds(self, disk):
         disk.write("f", b"ab")
         with pytest.raises(IndexError):
-            disk.corrupt_byte("f", 2)
+            disk.corrupt_byte("f", 100)
+
+    def test_atomic_write_no_temp_residue(self, disk):
+        disk.write("a/b", b"data")
+        assert disk.list_files() == ["a/b"]
+
+    def test_injected_write_crash_keeps_old_contents(self, tmp_path):
+        plan = FaultPlan([FaultSpec("disk.write", "error", nth=2)])
+        disk = FileSystemDisk(str(tmp_path / "s"), fault_plan=plan)
+        disk.write("f", b"old")
+        with pytest.raises(InjectedFaultError):
+            disk.write("f", b"new")
+        # The replace never happened and the temp file is cleaned up.
+        assert disk.read("f") == b"old"
+        assert disk.list_files() == ["f"]
+
+    def test_injected_read_error(self, tmp_path):
+        plan = FaultPlan([FaultSpec("disk.read", "error", nth=1)])
+        disk = FileSystemDisk(str(tmp_path / "s"), fault_plan=plan)
+        disk.write("f", b"data")
+        with pytest.raises(InjectedFaultError):
+            disk.read("f")
+        assert disk.read("f") == b"data"  # the fault was one-shot
+
+    @pytest.mark.parametrize("kind", ["torn", "corrupt"])
+    def test_injected_damage_caught_by_checksum(self, tmp_path, kind):
+        plan = FaultPlan([FaultSpec("disk.read", kind, nth=1)], seed=3)
+        disk = FileSystemDisk(str(tmp_path / "s"), fault_plan=plan)
+        disk.write("f", b"payload-bytes")
+        with pytest.raises(CorruptFileError):
+            disk.read("f")
+        assert disk.read("f") == b"payload-bytes"
 
 
 class TestSchemesOnRealFiles:

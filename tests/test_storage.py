@@ -81,6 +81,81 @@ class TestSimulatedDisk:
         assert model.decompress_seconds(6_000_000) == pytest.approx(1.0)
 
 
+class TestSimulatedDiskFaultInjection:
+    """The direct failure helpers and the ``disk.read`` fault seam."""
+
+    def test_truncate(self):
+        disk = SimulatedDisk()
+        disk.write("f", b"123456")
+        disk.truncate("f", 2)
+        assert disk.read("f") == b"12"
+
+    def test_truncate_missing(self):
+        with pytest.raises(FileMissingError):
+            SimulatedDisk().truncate("nope", 0)
+
+    def test_corrupt_byte(self):
+        disk = SimulatedDisk()
+        disk.write("f", b"\x00\x00")
+        disk.corrupt_byte("f", 1)
+        assert disk.read("f") == b"\x00\xff"
+
+    def test_corrupt_byte_custom_mask(self):
+        disk = SimulatedDisk()
+        disk.write("f", b"\x0f")
+        disk.corrupt_byte("f", 0, xor_with=0x01)
+        assert disk.read("f") == b"\x0e"
+
+    def test_corrupt_byte_missing(self):
+        with pytest.raises(FileMissingError):
+            SimulatedDisk().corrupt_byte("nope", 0)
+
+    def test_injected_read_error_is_one_shot(self):
+        from repro.errors import InjectedFaultError
+        from repro.faults import FaultPlan, FaultSpec
+
+        plan = FaultPlan([FaultSpec("disk.read", "error", nth=1)])
+        disk = SimulatedDisk(fault_plan=plan)
+        disk.write("f", b"data")
+        with pytest.raises(InjectedFaultError):
+            disk.read("f")
+        assert disk.read("f") == b"data"
+        assert [i.seam for i in plan.injections] == ["disk.read"]
+
+    def test_injected_torn_read(self):
+        from repro.faults import FaultPlan, FaultSpec
+
+        plan = FaultPlan([FaultSpec("disk.read", "torn", nth=1)])
+        disk = SimulatedDisk(fault_plan=plan)
+        disk.write("f", b"123456")
+        assert disk.read("f") == b"123"
+        assert disk.read("f") == b"123456"
+
+    def test_injected_corrupt_read_is_deterministic(self):
+        from repro.faults import FaultPlan, FaultSpec
+
+        def damaged(seed):
+            plan = FaultPlan([FaultSpec("disk.read", "corrupt", nth=1)], seed=seed)
+            disk = SimulatedDisk(fault_plan=plan)
+            disk.write("f", bytes(range(32)))
+            return disk.read("f")
+
+        assert damaged(5) == damaged(5)
+        assert damaged(5) != bytes(range(32))
+
+    def test_match_filter_scopes_fault_to_path(self):
+        from repro.errors import InjectedFaultError
+        from repro.faults import FaultPlan, FaultSpec
+
+        plan = FaultPlan([FaultSpec("disk.read", "error", match="idx/")])
+        disk = SimulatedDisk(fault_plan=plan)
+        disk.write("idx/a", b"1")
+        disk.write("other", b"2")
+        assert disk.read("other") == b"2"
+        with pytest.raises(InjectedFaultError):
+            disk.read("idx/a")
+
+
 @pytest.mark.parametrize("scheme_name", SCHEME_NAMES)
 class TestSchemeRoundTrip:
     def test_evaluation_matches_in_memory(self, index, scheme_name):
