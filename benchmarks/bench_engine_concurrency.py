@@ -96,7 +96,7 @@ def sweep(
     """Time the same cold-cache batch at each worker count on one engine."""
     engine = QueryEngine(
         cache_capacity=512,
-        io_model=io_model,
+        storage=io_model,
         io_time_scale=IO_TIME_SCALE,
     )
     engine.register(relation, base=BASE)
@@ -109,13 +109,13 @@ def sweep(
         # thread-pool shape runs pays one-time allocator-arena growth and
         # first-touch page faults (several seconds of real CPU at 1M rows)
         # that say nothing about steady-state serving throughput.
-        engine.submit_batch(batch, workers=workers)
+        engine.query_batch(batch, workers=workers)
         elapsed = float("inf")
         for _ in range(REPEATS):
             engine.reset_cache()
             engine.reset_metrics()
             start = time.perf_counter()
-            results = engine.submit_batch(batch, workers=workers)
+            results = engine.query_batch(batch, workers=workers)
             elapsed = min(elapsed, time.perf_counter() - start)
         snap = engine.snapshot()
         if baseline_rids is None:

@@ -1,0 +1,232 @@
+"""Persistence benchmark: the on-disk index store vs. in-memory rebuild.
+
+Measures the costs the :class:`~repro.storage.store.IndexStore` exists
+to avoid or amortize, and writes
+``benchmarks/results/BENCH_store.json``:
+
+- ``build`` — one-time cost of indexing and persisting a relation.
+- ``cold_open`` — opening the store and serving the *first* query
+  entirely from the mmapped file (dictionary parse + the touched
+  payloads), against rebuilding the same index from raw values.  This is
+  the headline number: restart-to-first-answer latency.
+- ``lazy_vs_eager`` — payload bytes actually read by a single-predicate
+  query vs. the total payload bytes in the file; the lazy fraction is
+  what mmap materialization saves over slurping the file.
+- ``append_compact`` — delta-append throughput and the cost of folding
+  the sidecar back into the base file.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_store.py
+
+or through pytest (quick sizes unless ``REPRO_BENCH_FULL=1``)::
+
+    pytest benchmarks/bench_store.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+
+import numpy as np
+
+import repro
+from repro.core.decomposition import Base
+from repro.engine import QueryEngine
+from repro.query.predicate import AttributePredicate
+from repro.relation.relation import Relation
+from repro.storage import IndexStore
+from repro.workloads.generators import uniform_values, zipf_values
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+RESULT_FILE = os.path.join(RESULTS_DIR, "BENCH_store.json")
+
+QUICK = os.environ.get("REPRO_BENCH_FULL", "") == ""
+
+CARDINALITY = 500
+BASE = Base((25, 20))
+CODEC = "wah"
+APPEND_BATCH = 1_000
+
+
+def build_relation(num_rows: int) -> Relation:
+    return Relation.from_dict(
+        "bench",
+        {
+            "a": uniform_values(num_rows, CARDINALITY, seed=1),
+            "b": zipf_values(num_rows, CARDINALITY, seed=2),
+        },
+    )
+
+
+def time_once(fn) -> tuple[float, object]:
+    start = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - start, out
+
+
+def bench_cold_open(root: str, relation: Relation, pred: AttributePredicate):
+    """Restart-to-first-answer: open the store cold vs. rebuild in memory."""
+
+    def from_store():
+        engine = repro.open_store(root)
+        result = engine.query(pred)
+        engine.close()
+        return result.rids
+
+    def from_scratch():
+        engine = QueryEngine()
+        engine.register(relation, base=BASE)
+        result = engine.query(pred)
+        engine.close()
+        return result.rids
+
+    store_s, store_rids = time_once(from_store)
+    rebuild_s, rebuild_rids = time_once(from_scratch)
+    assert np.array_equal(store_rids, rebuild_rids), "store diverged from rebuild"
+    return {
+        "store_first_answer_seconds": round(store_s, 4),
+        "rebuild_first_answer_seconds": round(rebuild_s, 4),
+        "speedup": round(rebuild_s / store_s, 2) if store_s else None,
+    }
+
+
+def bench_lazy(root: str, pred: AttributePredicate, total_payload_bytes: int):
+    store = IndexStore(root)
+    engine = QueryEngine(storage=store)
+    engine.register(store.relation_view("bench"))
+    engine.query(pred)
+    snap = store.io_snapshot()
+    engine.close()
+    read = snap["payload_bytes_read"]
+    return {
+        "total_payload_bytes": total_payload_bytes,
+        "payload_bytes_read": read,
+        "dict_bytes": snap["dict_bytes"],
+        "bitmaps_materialized": snap["bitmaps_materialized"],
+        "pages_touched": snap["pages_touched"],
+        "lazy_read_fraction": round(read / total_payload_bytes, 4),
+    }
+
+
+def bench_append_compact(root: str, relation: Relation, batches: int):
+    store = IndexStore(root)
+    rng = np.random.default_rng(3)
+    rows = {
+        "a": rng.integers(0, CARDINALITY, APPEND_BATCH),
+        "b": rng.integers(0, CARDINALITY, APPEND_BATCH),
+    }
+    append_s = 0.0
+    for _ in range(batches):
+        elapsed, _ = time_once(lambda: store.append("bench", rows))
+        append_s += elapsed
+    appended = batches * APPEND_BATCH
+    compact_s, summary = time_once(lambda: store.compact("bench"))
+    assert summary["compacted"] and summary["rows"] == relation.num_rows + appended
+    assert store.verify("bench") == []
+    store.close()
+    return {
+        "batches": batches,
+        "rows_per_batch": APPEND_BATCH,
+        "append_seconds_total": round(append_s, 4),
+        "append_rows_per_second": round(appended / append_s, 1) if append_s else None,
+        "compact_seconds": round(compact_s, 4),
+        "compacted_rows": summary["rows"],
+    }
+
+
+def run(num_rows: int, append_batches: int) -> dict:
+    relation = build_relation(num_rows)
+    pred = AttributePredicate("a", "<=", CARDINALITY // 8)
+    root = tempfile.mkdtemp(prefix="bench_store_")
+    try:
+        store = IndexStore(root)
+        build_s, summary = time_once(
+            lambda: store.build(relation, codec=CODEC, base=BASE)
+        )
+        store.close()
+        total_payload = sum(
+            attr["payload_bytes"] for attr in summary["attributes"].values()
+        )
+        payload = {
+            "benchmark": "store",
+            "config": {
+                "num_rows": num_rows,
+                "cardinality": CARDINALITY,
+                "base": str(BASE),
+                "codec": CODEC,
+                "attributes": sorted(relation.columns),
+            },
+            "build": {
+                "seconds": round(build_s, 4),
+                "file_bytes": summary["file_bytes"],
+                "bytes_per_row": round(summary["file_bytes"] / num_rows, 2),
+            },
+            "cold_open": bench_cold_open(root, relation, pred),
+            "lazy_vs_eager": bench_lazy(root, pred, total_payload),
+            "append_compact": bench_append_compact(root, relation, append_batches),
+        }
+        return payload
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def save(payload: dict) -> None:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(RESULT_FILE, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def report(payload: dict) -> str:
+    cold = payload["cold_open"]
+    lazy = payload["lazy_vs_eager"]
+    append = payload["append_compact"]
+    return "\n".join(
+        [
+            f"store persistence, {payload['config']['num_rows']} rows "
+            f"({payload['config']['codec']} payloads):",
+            f"  build+persist: {payload['build']['seconds']}s "
+            f"({payload['build']['file_bytes']} bytes on disk)",
+            f"  first answer from cold store: "
+            f"{cold['store_first_answer_seconds']}s vs rebuild "
+            f"{cold['rebuild_first_answer_seconds']}s "
+            f"({cold['speedup']}x)",
+            f"  lazy read: {lazy['payload_bytes_read']} of "
+            f"{lazy['total_payload_bytes']} payload bytes "
+            f"({lazy['lazy_read_fraction'] * 100:.1f}%), "
+            f"{lazy['bitmaps_materialized']} bitmaps, "
+            f"{lazy['pages_touched']} pages",
+            f"  append: {append['append_rows_per_second']} rows/s over "
+            f"{append['batches']} batches; compact "
+            f"{append['compact_seconds']}s for {append['compacted_rows']} rows",
+        ]
+    )
+
+
+def test_store_persistence_benchmark():
+    """A cold store must answer without reading most of the payload bytes."""
+    payload = run(20_000 if QUICK else 500_000, append_batches=2)
+    save(payload)
+    print()
+    print(report(payload))
+    lazy = payload["lazy_vs_eager"]
+    assert 0 < lazy["payload_bytes_read"] < lazy["total_payload_bytes"]
+    # A single one-sided predicate on one of two attributes cannot need
+    # even half of the file's payload bytes.
+    assert lazy["lazy_read_fraction"] < 0.5
+
+
+def main() -> None:
+    payload = run(500_000, append_batches=5)
+    save(payload)
+    print(report(payload))
+    print(f"wrote {os.path.relpath(RESULT_FILE)}")
+
+
+if __name__ == "__main__":
+    main()

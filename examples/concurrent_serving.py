@@ -57,10 +57,10 @@ def main() -> None:
     print(f"registered {relation.name!r} ({relation.num_rows} rows), "
           f"prebuilt {built} indexes")
 
-    sequential = engine.submit_batch(batch, workers=1)
+    sequential = engine.query_batch(batch, workers=1)
     engine.reset_metrics()
     engine.reset_cache()
-    concurrent = engine.submit_batch(batch)  # uses the engine's pool
+    concurrent = engine.query_batch(batch)  # uses the engine's pool
 
     identical = all(
         np.array_equal(s.rids, c.rids) for s, c in zip(sequential, concurrent)

@@ -47,10 +47,35 @@ from repro.errors import QueryTimeoutError, ReproError
 from repro.faults import Deadline, FaultPlan, FaultSpec
 from repro.query.options import QueryOptions
 from repro.stats import ExecutionStats
+from repro.storage import IndexStore, Storage
 from repro.table import Table
 from repro.trace import ExplainReport, QueryTrace, explain
 
 __version__ = "1.0.0"
+
+
+def open_store(path: str, **engine_opts) -> QueryEngine:
+    """Open a persistent index store and serve queries from it.
+
+    The one-call persistence entry point: opens (or creates) the
+    :class:`~repro.storage.store.IndexStore` at ``path``, constructs a
+    :class:`QueryEngine` with it as the storage backend (extra keyword
+    arguments go to the engine), and registers every stored relation —
+    so a prior session's ``engine.storage.build(relation)`` is queryable
+    with nothing but the directory:
+
+    >>> engine = open_store("/data/indexes")     # doctest: +SKIP
+    >>> engine.query("region = 'east'", "sales")  # doctest: +SKIP
+
+    Bitmaps load lazily from the mmapped files; only the dictionaries
+    are parsed up front.  The store is reachable as ``engine.storage``
+    for maintenance (``build`` / ``append`` / ``compact`` / ``scrub``).
+    """
+    store = IndexStore(path)
+    engine = QueryEngine(storage=store, **engine_opts)
+    for relation in store.relations():
+        engine.register(store.relation_view(relation))
+    return engine
 
 __all__ = [
     "AttributeSpec",
@@ -66,6 +91,7 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "IndexDesign",
+    "IndexStore",
     "Predicate",
     "QueryEngine",
     "QueryOptions",
@@ -74,6 +100,7 @@ __all__ = [
     "ReproError",
     "RetryPolicy",
     "SharedBitmapCache",
+    "Storage",
     "Table",
     "TableDesign",
     "allocate_budget",
@@ -81,6 +108,7 @@ __all__ = [
     "evaluate",
     "explain",
     "get_codec",
+    "open_store",
     "range_eval",
     "range_eval_opt",
     "recommend",

@@ -111,6 +111,47 @@ class BitVector:
         return cls(nbits, buf.view(np.uint64))
 
     @classmethod
+    def from_words(cls, words: np.ndarray, nbits: int) -> "BitVector":
+        """Wrap an existing little-endian ``uint64`` word buffer.
+
+        The zero-copy deserialization path for word-aligned storage (the
+        persistent index store mmaps a file region and hands the view
+        straight in).  The buffer may be read-only **provided its unused
+        tail bits are already zero** — the serializer guarantees that; a
+        read-only buffer with garbage tail bits raises ``ValueError``
+        rather than being silently copied or mutated.
+        """
+        if words.dtype != np.uint64 or words.ndim != 1:
+            raise ValueError("words must be a 1-D uint64 array")
+        if len(words) != _words_needed(nbits):
+            raise ValueError(
+                f"words has {len(words)} entries; "
+                f"{_words_needed(nbits)} needed for {nbits} bits"
+            )
+        if words.flags.writeable:
+            return cls(nbits, words)
+        tail = nbits % _WORD_BITS
+        if nbits and tail and len(words):
+            keep = np.uint64((1 << tail) - 1)
+            if words[-1] & ~keep:
+                raise ValueError(
+                    "read-only word buffer has nonzero unused tail bits"
+                )
+        vector = cls.__new__(cls)
+        vector._nbits = nbits
+        vector._words = words
+        return vector
+
+    def to_word_bytes(self) -> bytes:
+        """Serialize to the full padded word buffer (``8 * nwords`` bytes).
+
+        Unlike :meth:`to_bytes` the tail padding is kept, so the payload
+        can be reconstructed zero-copy with :meth:`from_words` /
+        ``np.frombuffer``.
+        """
+        return self._words.astype("<u8", copy=False).tobytes()
+
+    @classmethod
     def from_bytes(cls, data: bytes, nbits: int) -> "BitVector":
         """Inverse of :meth:`to_bytes`.
 

@@ -39,6 +39,7 @@ from __future__ import annotations
 import logging
 import threading
 import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -194,6 +195,11 @@ class _CachedSource:
     def nonnull(self):
         if self.compressed:
             return self._index.as_compressed(self.bitmap_codec).nonnull
+        with_codec = getattr(self._index, "with_codec", None)
+        if with_codec is not None:
+            # A store-backed source may persist a compressed codec while
+            # the engine serves dense; ask for the dense representation.
+            return with_codec("dense").nonnull
         return self._index.nonnull
 
     def fetch(self, component: int, slot: int, stats: ExecutionStats):
@@ -248,11 +254,20 @@ class QueryEngine:
         Bitmaps held by the shared LRU cache (0 disables caching).
     max_workers:
         Default thread-pool width for :meth:`query_batch`.
+    storage:
+        Optional backend implementing the :class:`repro.storage.Storage`
+        protocol.  A :class:`~repro.storage.disk.DiskModel` makes every
+        cache miss sleep the modeled read latency (scaled by
+        ``io_time_scale``), so the engine behaves like a disk-backed
+        server rather than a pure in-memory structure.  An
+        :class:`~repro.storage.store.IndexStore` serves persisted indexes
+        straight off its mmap-backed files — register the store's
+        :meth:`~repro.storage.store.IndexStore.relation_view` (or use
+        :func:`repro.open_store`) and queries read only the bitmaps they
+        touch.  Leave ``None`` for pure in-memory tests.
     io_model:
-        Optional :class:`~repro.storage.disk.DiskModel`; when given, every
-        cache miss sleeps the modeled read latency (scaled by
-        ``io_time_scale``), so the engine behaves like a disk-backed server
-        rather than a pure in-memory structure.  Leave ``None`` for tests.
+        Deprecated alias of ``storage`` (warns once); kept for callers
+        predating the unified Storage protocol.
     io_time_scale:
         Multiplier applied to the modeled latency (e.g. ``0.1`` to run a
         benchmark 10x faster than the era model).
@@ -306,11 +321,15 @@ class QueryEngine:
     #: Codecs the engine can serve.
     CODECS = ("dense", "wah", "roaring")
 
+    #: One-shot flag for the io_model= deprecation shim.
+    _warned_io_model = False
+
     def __init__(
         self,
         *,
         cache_capacity: int = 256,
         max_workers: int = 4,
+        storage=None,
         io_model: DiskModel | None = None,
         io_time_scale: float = 1.0,
         compressed: bool = False,
@@ -350,12 +369,30 @@ class QueryEngine:
         self._relations: dict[str, Relation] = {}
         self._specs: dict[str, dict[str, IndexSpec]] = {}
         self._default_relation: str | None = None
-        self._io_model = io_model
         if io_model is not None:
-            self._sleep = (
-                io_model.seek_seconds * io_time_scale,
-                io_time_scale / io_model.bandwidth_bytes_per_second,
-            )
+            if storage is not None:
+                raise EngineConfigError(
+                    "pass storage= or the deprecated io_model=, not both"
+                )
+            if not QueryEngine._warned_io_model:
+                QueryEngine._warned_io_model = True
+                warnings.warn(
+                    "the io_model= keyword is deprecated; pass the same "
+                    "DiskModel as storage= (any repro.storage.Storage "
+                    "backend is accepted)",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            storage = io_model
+        self.storage = storage
+        self._io_model = storage if isinstance(storage, DiskModel) else None
+        if storage is not None:
+            # Per-miss sleep derived through the protocol: a DiskModel
+            # yields its seek/bandwidth figures; real-I/O backends return
+            # 0.0 (their reads pay actual wall-clock time) so no sleep.
+            seek = storage.read_seconds(1, 0) * io_time_scale
+            per_byte = storage.read_seconds(0, 1) * io_time_scale
+            self._sleep = (seek, per_byte) if (seek or per_byte) else None
         else:
             self._sleep = None
         self.retry_policy = retry if retry is not None else RetryPolicy()
@@ -398,6 +435,11 @@ class QueryEngine:
             executor.shutdown(wait=wait)
         for export in exports:
             export.close()
+        # Release storage handles (an IndexStore holds open mmaps); the
+        # backend reopens lazily, so closing here is always safe.
+        storage_close = getattr(self.storage, "close", None)
+        if storage_close is not None:
+            storage_close()
 
     def __enter__(self) -> "QueryEngine":
         return self
@@ -603,6 +645,12 @@ class QueryEngine:
             io_model = dict(self._io_model.as_dict())
             io_model["io_seconds"] = result.stats.io_seconds
             io_model["description"] = "modeled cache-miss read waits"
+        storage_io = None
+        if self.storage is not None and self._io_model is None:
+            # Real-I/O backends: report their cumulative counters (bytes
+            # actually read, bitmaps materialized, page touches) next to
+            # the cost model's predictions.
+            storage_io = dict(self.storage.io_snapshot())
         return build_explain_report(
             self._relations[name],
             q,
@@ -612,26 +660,9 @@ class QueryEngine:
             compressed=self.compressed,
             algorithm=options.algorithm,
             io_model=io_model,
+            storage_io=storage_io,
             plan=f"cached-bitmap/{mode}",
         )
-
-    # Back-compat entry points (pre-unification API).
-
-    def submit(
-        self, predicate: AttributePredicate, relation: str | None = None
-    ) -> QueryResult:
-        """Evaluate one predicate (alias of :meth:`query`)."""
-        return self.query(predicate, relation)
-
-    def submit_batch(
-        self,
-        queries: list,
-        *,
-        workers: int | None = None,
-        relation: str | None = None,
-    ) -> list[QueryResult]:
-        """Evaluate a batch of queries (alias of :meth:`query_batch`)."""
-        return self.query_batch(queries, workers=workers, relation=relation)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -767,12 +798,31 @@ class QueryEngine:
                 f"served by the engine; served attributes: {served}"
             ) from None
 
-    def _index_for(self, relation_name: str, attribute: str) -> BitmapIndex:
+    def _index_for(self, relation_name: str, attribute: str):
+        """The bitmap source of one attribute: persisted or built in memory.
+
+        A :class:`~repro.storage.Storage` backend that can serve the
+        attribute itself (an :class:`~repro.storage.store.IndexStore`)
+        wins — its lazy source is registered in place of an in-memory
+        index, so only touched payloads are ever read.  Otherwise the
+        index is built from the relation's raw column codes.
+        """
         spec = self._spec_for(relation_name, attribute)
         relation = self._relations[relation_name]
+        storage = self.storage
 
-        def build() -> BitmapIndex:
+        def build():
+            if storage is not None:
+                source = storage.bitmap_source(relation_name, attribute)
+                if source is not None:
+                    return source
             column = relation.column(attribute)
+            if column.codes is None:
+                raise EngineConfigError(
+                    f"attribute {attribute!r} of relation {relation_name!r} "
+                    f"has no raw values to index and the storage backend "
+                    f"holds no persisted bitmaps for it"
+                )
             return BitmapIndex(
                 column.codes,
                 cardinality=column.cardinality,
@@ -784,13 +834,25 @@ class QueryEngine:
         return self.registry.get_or_build((relation_name, attribute), build)
 
     def _codec_for(
-        self, relation_name: str, attribute: str, options: QueryOptions
+        self,
+        relation_name: str,
+        attribute: str,
+        options: QueryOptions,
+        stored: str | None = None,
     ) -> str:
-        """Resolve the serving codec: query override > index spec > engine."""
+        """Resolve the serving codec.
+
+        Precedence: query override > index spec > the codec the bitmaps
+        are persisted in (store-backed sources only — serving the stored
+        representation keeps fetches zero-copy/zero-recode) > engine
+        default.
+        """
         codec = options.codec
         if codec is None:
             spec = self._specs.get(relation_name, {}).get(attribute)
             codec = spec.codec if spec is not None else None
+        if codec is None:
+            codec = stored
         if codec is None:
             codec = self.codec
         if codec not in self.CODECS:
@@ -807,7 +869,12 @@ class QueryEngine:
     ) -> _CachedSource:
         """The cache-routed bitmap source of one served attribute."""
         index = self._index_for(relation_name, attribute)
-        codec = self._codec_for(relation_name, attribute, options)
+        codec = self._codec_for(
+            relation_name,
+            attribute,
+            options,
+            stored=getattr(index, "stored_codec", None),
+        )
         prefix = (relation_name, attribute)
         if codec != "dense":
             # Entries of different representations for the same slot must
@@ -894,6 +961,12 @@ class QueryEngine:
 
         def build() -> ShardedBitmapIndex:
             column = relation.column(attribute)
+            if column.codes is None:
+                raise EngineConfigError(
+                    f"the process backend shards raw column codes, which "
+                    f"store-backed relation {relation_name!r} does not "
+                    f"carry; use the inline or thread backend"
+                )
             return ShardedBitmapIndex(
                 column.codes,
                 cardinality=column.cardinality,

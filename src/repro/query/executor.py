@@ -20,7 +20,7 @@ from repro.core.evaluation import Predicate, evaluate
 from repro.core.index import BitmapIndex, BitmapSource
 from repro.errors import InvalidPredicateError, ReproError
 from repro.faults import Deadline
-from repro.query.options import UNSET, QueryOptions, resolve_options
+from repro.query.options import VERIFYING_OPTIONS, QueryOptions
 from repro.query.predicate import AttributePredicate
 from repro.relation.projection import ProjectionIndex
 from repro.relation.relation import Relation
@@ -65,7 +65,6 @@ def execute(
     predicate: AttributePredicate,
     access_path: AccessPath = AccessPath.SCAN,
     index: BitmapSource | RIDListIndex | ProjectionIndex | None = None,
-    verify=UNSET,
     *,
     options: QueryOptions | None = None,
     trace: QueryTrace | None = None,
@@ -77,9 +76,9 @@ def execute(
     column *codes* — see :func:`bitmap_index_for`), a
     :class:`RIDListIndex`, or a :class:`ProjectionIndex`.
 
-    Tuning flags live in ``options`` (a :class:`~repro.query.options.QueryOptions`);
-    the legacy ``verify=`` keyword is deprecated but keeps working.  With
-    verification on (the legacy default when no options are passed) the
+    Tuning flags live in ``options`` (a
+    :class:`~repro.query.options.QueryOptions`); when omitted the
+    standalone executor verifies by default.  With verification on the
     result is checked against a full scan and a :class:`VerificationError`
     raised on any disagreement.  ``trace`` threads an existing
     :class:`~repro.trace.QueryTrace` through the evaluation (the engine
@@ -91,9 +90,7 @@ def execute(
     seams check it and raise :class:`~repro.errors.QueryTimeoutError`
     once the budget is gone.
     """
-    options = resolve_options(
-        options, verify, default_verify=True, owner="execute()"
-    )
+    options = options if options is not None else VERIFYING_OPTIONS
     if trace is None and options.trace:
         trace = QueryTrace(label=str(predicate))
     if deadline is None and options.deadline_ms is not None:

@@ -28,7 +28,7 @@ from repro.bitmaps.bitvector import BitVector
 from repro.core.evaluation import OPERATORS, Predicate, evaluate
 from repro.core.index import BitmapSource
 from repro.errors import InvalidPredicateError
-from repro.query.options import UNSET, QueryOptions, resolve_options
+from repro.query.options import VERIFYING_OPTIONS, QueryOptions
 from repro.relation.relation import Relation
 from repro.stats import ExecutionStats
 
@@ -403,18 +403,18 @@ def select(
     expression: Expression | str,
     indexes: dict[str, BitmapSource],
     stats: ExecutionStats | None = None,
-    verify=UNSET,
     *,
     options: QueryOptions | None = None,
 ) -> np.ndarray:
     """Evaluate an expression through bitmap indexes; returns sorted RIDs.
 
-    Tuning flags live in ``options``; the legacy ``verify=`` keyword is
-    deprecated but keeps working.  With ``options.trace`` a fresh
-    :class:`~repro.trace.QueryTrace` is attached to ``stats`` (creating
-    the stats object if needed) and left there for the caller to read.
+    Tuning flags live in ``options``; when omitted the standalone entry
+    point verifies against a scan by default.  With ``options.trace`` a
+    fresh :class:`~repro.trace.QueryTrace` is attached to ``stats``
+    (creating the stats object if needed) and left there for the caller
+    to read.
     """
-    opts = resolve_options(options, verify, default_verify=True, owner="select()")
+    opts = options if options is not None else VERIFYING_OPTIONS
     verify = opts.verify
     if opts.trace:
         if stats is None:

@@ -26,7 +26,7 @@ from repro.core.evaluation import Predicate, evaluate
 from repro.core.index import BitmapSource
 from repro.errors import InvalidPredicateError
 from repro.query.executor import QueryResult, VerificationError
-from repro.query.options import UNSET, QueryOptions, resolve_options
+from repro.query.options import VERIFYING_OPTIONS, QueryOptions
 from repro.query.predicate import AttributePredicate
 from repro.relation.histogram import EquiDepthHistogram
 from repro.relation.relation import Relation
@@ -184,20 +184,17 @@ def execute_plan(
     predicates: list[AttributePredicate],
     catalog: Catalog,
     choice: PlanChoice | None = None,
-    verify=UNSET,
     *,
     options: QueryOptions | None = None,
 ) -> tuple[QueryResult, PlanChoice]:
     """Optimize (unless a choice is given), execute, and verify.
 
-    Tuning flags live in ``options``; the legacy ``verify=`` keyword is
-    deprecated but keeps working.  With ``options.trace`` the plan
+    Tuning flags live in ``options``; when omitted the plan executor
+    verifies against a scan by default.  With ``options.trace`` the plan
     decision is recorded as a ``plan.choose`` span (with every
     alternative's cost estimate) and the trace rides on the result.
     """
-    options = resolve_options(
-        options, verify, default_verify=True, owner="execute_plan()"
-    )
+    options = options if options is not None else VERIFYING_OPTIONS
     stats = ExecutionStats()
     trace = None
     if options.trace:

@@ -4,7 +4,8 @@ Before this module, each of the four query entry points — the verifying
 executor, the boolean expression tree, the plan optimizer, and the serving
 engine — grew its own keyword sprawl (``verify=``, ``algorithm=``,
 ``workers=``, …).  :class:`QueryOptions` is the one dataclass they all
-accept; the scattered keywords keep working but are deprecated.
+accept; the scattered legacy keywords have been removed after their
+deprecation cycle.
 
 :func:`normalize_query` is the companion piece of the unified surface: it
 turns any of the accepted query forms — an
@@ -15,7 +16,6 @@ string — into the canonical object the execution paths dispatch on.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, replace
 
 from repro.errors import InvalidPredicateError
@@ -83,36 +83,9 @@ class QueryOptions:
 #: Shared default instance (options are immutable, so one is enough).
 DEFAULT_OPTIONS = QueryOptions()
 
-#: Sentinel distinguishing "keyword not passed" from an explicit value.
-UNSET = object()
-
-
-def resolve_options(
-    options: QueryOptions | None,
-    verify=UNSET,
-    *,
-    default_verify: bool = False,
-    owner: str = "this function",
-) -> QueryOptions:
-    """Merge a deprecated ``verify=`` keyword into a :class:`QueryOptions`.
-
-    Emits a :class:`DeprecationWarning` when the legacy keyword was passed
-    explicitly; an explicit keyword wins over ``options`` so existing
-    callers keep their exact behavior.
-    """
-    if verify is not UNSET:
-        warnings.warn(
-            f"the verify= keyword of {owner} is deprecated; pass "
-            f"options=QueryOptions(verify=...) instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-    if options is None:
-        effective = default_verify if verify is UNSET else bool(verify)
-        return QueryOptions(verify=effective)
-    if verify is not UNSET:
-        return options.with_(verify=bool(verify))
-    return options
+#: Default for the standalone entry points (executor, select,
+#: execute_plan), which cross-check against a scan unless told otherwise.
+VERIFYING_OPTIONS = QueryOptions(verify=True)
 
 
 def normalize_query(query):

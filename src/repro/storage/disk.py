@@ -52,6 +52,27 @@ class DiskModel:
             + bytes_read / self.bandwidth_bytes_per_second
         )
 
+    # ------------------------------------------------------------------
+    # Storage protocol (see repro.storage.Storage)
+    # ------------------------------------------------------------------
+    #
+    # A DiskModel is the degenerate storage backend: it holds no bytes,
+    # serves no bitmaps, and exists purely to charge modeled latency.
+
+    def read_seconds(self, files_opened: int, bytes_read: int) -> float:
+        """Modeled latency of one read (alias of :meth:`seconds`)."""
+        return self.seconds(files_opened, bytes_read)
+
+    def bitmap_source(self, relation: str, attribute: str):
+        """A latency model holds no index payloads."""
+        return None
+
+    def io_snapshot(self) -> dict:
+        """The model's parameters (a latency model has no counters)."""
+        out = self.as_dict()
+        out["backend"] = "model"
+        return out
+
     def decompress_seconds(self, decompressed_bytes: int) -> float:
         """Era-modeled CPU seconds to inflate ``decompressed_bytes``."""
         return decompressed_bytes / self.inflate_bytes_per_second
@@ -174,3 +195,24 @@ class SimulatedDisk:
     def estimated_read_seconds(self, files_opened: int, bytes_read: int) -> float:
         """Apply this disk's :class:`DiskModel` to an IO volume."""
         return self.model.seconds(files_opened, bytes_read)
+
+    # ------------------------------------------------------------------
+    # Storage protocol (see repro.storage.Storage)
+    # ------------------------------------------------------------------
+
+    def read_seconds(self, files_opened: int, bytes_read: int) -> float:
+        """A simulated disk moves no real bytes, so reads are modeled."""
+        return self.model.seconds(files_opened, bytes_read)
+
+    def bitmap_source(self, relation: str, attribute: str):
+        """Scheme files are opened via ``open_scheme``, not per attribute."""
+        return None
+
+    def io_snapshot(self) -> dict:
+        return {
+            "backend": "simulated",
+            "reads": self.stats.reads,
+            "writes": self.stats.writes,
+            "bytes_read": self.stats.bytes_read,
+            "bytes_written": self.stats.bytes_written,
+        }

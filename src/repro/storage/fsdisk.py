@@ -112,8 +112,19 @@ class FileSystemDisk:
             raise CorruptFileError(
                 f"{path}: missing or corrupt checksum frame header"
             )
-        _, crc, length = _HEADER.unpack_from(raw)
+        try:
+            _, crc, length = _HEADER.unpack_from(raw)
+        except struct.error as exc:  # pragma: no cover - len checked above
+            raise CorruptFileError(f"{path}: unreadable frame header") from exc
         payload = raw[_HEADER.size :]
+        if length > len(raw):
+            # The declared payload extends past EOF — a torn or mangled
+            # header.  Reject with the typed error before any consumer
+            # slices (or mmaps) past the end of the file.
+            raise CorruptFileError(
+                f"{path}: frame header promises {length} payload bytes "
+                f"but the file holds only {len(raw) - _HEADER.size}"
+            )
         if len(payload) != length:
             raise CorruptFileError(
                 f"{path}: torn file — header promises {length} payload "
@@ -240,6 +251,10 @@ class FileSystemDisk:
             self._unframe(path, raw)
         except CorruptFileError:
             return False
+        except (ValueError, struct.error):  # pragma: no cover - belt and braces
+            # Any parse failure on stored bytes is corruption, whatever
+            # exception a lower layer chose to raise.
+            return False
         return True
 
     def quarantine(self, path: str) -> str:
@@ -311,3 +326,25 @@ class FileSystemDisk:
 
     def estimated_read_seconds(self, files_opened: int, bytes_read: int) -> float:
         return self.model.seconds(files_opened, bytes_read)
+
+    # ------------------------------------------------------------------
+    # Storage protocol (see repro.storage.Storage)
+    # ------------------------------------------------------------------
+
+    def read_seconds(self, files_opened: int, bytes_read: int) -> float:
+        """A real disk pays real wall-clock time; nothing is modeled."""
+        return 0.0
+
+    def bitmap_source(self, relation: str, attribute: str):
+        """Scheme files are opened via ``open_scheme``, not per attribute."""
+        return None
+
+    def io_snapshot(self) -> dict:
+        return {
+            "backend": "filesystem",
+            "root": self.root,
+            "reads": self.stats.reads,
+            "writes": self.stats.writes,
+            "bytes_read": self.stats.bytes_read,
+            "bytes_written": self.stats.bytes_written,
+        }

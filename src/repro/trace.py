@@ -312,6 +312,7 @@ class ExplainReport:
     divergences: list[str]
     trace: QueryTrace | None = None
     io_model: dict | None = None
+    storage_io: dict | None = None
     plan: str | None = None
 
     @property
@@ -340,6 +341,7 @@ class ExplainReport:
             "effective_fetches": self.effective_fetches,
             "divergences": list(self.divergences),
             "io_model": self.io_model,
+            "storage_io": self.storage_io,
             "plan": self.plan,
         }
         if self.trace is not None:
@@ -381,6 +383,16 @@ class ExplainReport:
                 f"  modeled I/O: {self.io_model.get('io_seconds', 0.0):.6f} s "
                 f"({self.io_model.get('description', '')})"
             )
+        if self.storage_io is not None:
+            s = self.storage_io
+            lines.append(
+                f"  storage I/O ({s.get('backend', '?')}, cumulative): "
+                f"{s.get('payload_bytes_read', s.get('bytes_read', 0))} "
+                f"payload bytes read, "
+                f"{s.get('bitmaps_materialized', 0)} bitmaps materialized, "
+                f"{s.get('dict_bytes', 0)} dictionary bytes, "
+                f"{s.get('pages_touched', 0)} pages touched"
+            )
         lines.append(f"  rows: {self.rows}")
         if self.divergences:
             for message in self.divergences:
@@ -408,6 +420,7 @@ def build_explain_report(
     compressed: bool = False,
     algorithm: str = "auto",
     io_model: dict | None = None,
+    storage_io: dict | None = None,
     plan: str | None = None,
 ) -> ExplainReport:
     """Assemble an :class:`ExplainReport` from an executed, traced query."""
@@ -443,6 +456,7 @@ def build_explain_report(
         divergences=divergences,
         trace=result.trace,
         io_model=io_model,
+        storage_io=storage_io,
         plan=plan,
     )
 

@@ -260,8 +260,8 @@ class TestEngineCompressedMode:
         )
         for engine in (dense, comp):
             engine.register(relation)
-        dense_results = dense.submit_batch(self.queries(), workers=2)
-        comp_results = comp.submit_batch(self.queries(), workers=2)
+        dense_results = dense.query_batch(self.queries(), workers=2)
+        comp_results = comp.query_batch(self.queries(), workers=2)
         for d, c in zip(dense_results, comp_results):
             assert np.array_equal(d.rids, c.rids)
 
@@ -270,7 +270,7 @@ class TestEngineCompressedMode:
             cache_capacity=None, cache_bytes=1 << 20, compressed=True
         )
         engine.register(relation)
-        engine.submit_batch(self.queries(), workers=1)
+        engine.query_batch(self.queries(), workers=1)
         snap = engine.cache.snapshot()
         assert snap["size"] > 0
         # Dense entries would be nbits/8 = 1000 bytes each; compressed
@@ -282,8 +282,8 @@ class TestEngineCompressedMode:
             cache_capacity=None, cache_bytes=1 << 20, compressed=True
         )
         engine.register(relation)
-        engine.submit_batch(self.queries(), workers=1)
+        engine.query_batch(self.queries(), workers=1)
         misses_before = engine.cache.misses
-        engine.submit_batch(self.queries(), workers=1)
+        engine.query_batch(self.queries(), workers=1)
         assert engine.cache.misses == misses_before
         assert engine.cache.hits > 0

@@ -9,6 +9,7 @@ queries must build each attribute's index exactly once.
 
 from __future__ import annotations
 
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
@@ -74,8 +75,8 @@ def assert_counters_consistent(engine: QueryEngine) -> None:
 class TestBatchCorrectness:
     def test_concurrent_equals_sequential_baseline(self, relation):
         batch = mixed_batch(relation, 60, seed=1)
-        sequential = make_engine(relation).submit_batch(batch, workers=1)
-        concurrent = make_engine(relation).submit_batch(batch, workers=8)
+        sequential = make_engine(relation).query_batch(batch, workers=1)
+        concurrent = make_engine(relation).query_batch(batch, workers=8)
         assert len(sequential) == len(concurrent) == len(batch)
         for pred, seq, conc in zip(batch, sequential, concurrent):
             assert np.array_equal(seq.rids, conc.rids), str(pred)
@@ -85,7 +86,7 @@ class TestBatchCorrectness:
     def test_batch_preserves_input_order(self, relation):
         batch = mixed_batch(relation, 40, seed=2)
         engine = make_engine(relation)
-        results = engine.submit_batch(batch, workers=4)
+        results = engine.query_batch(batch, workers=4)
         for pred, result in zip(batch, results):
             assert np.array_equal(
                 result.rids, relation.scan(pred.attribute, pred.op, pred.value)
@@ -94,7 +95,7 @@ class TestBatchCorrectness:
     def test_explicit_relation_pairs(self, relation):
         engine = make_engine(relation)
         pred = AttributePredicate("quantity", "<=", 10)
-        results = engine.submit_batch([("lineitem", pred), pred], workers=2)
+        results = engine.query_batch([("lineitem", pred), pred], workers=2)
         assert np.array_equal(results[0].rids, results[1].rids)
 
 
@@ -102,7 +103,7 @@ class TestContention:
     def test_counters_consistent_under_contention(self, relation):
         engine = make_engine(relation, cache_capacity=32)
         batch = mixed_batch(relation, 120, seed=3)
-        engine.submit_batch(batch, workers=8)
+        engine.query_batch(batch, workers=8)
         snap = engine.snapshot()
         assert snap["queries"] == len(batch)
         assert snap["failures"] == 0
@@ -110,12 +111,12 @@ class TestContention:
         assert_counters_consistent(engine)
 
     def test_many_threads_sharing_one_engine(self, relation):
-        """External threads calling submit() directly, not via submit_batch."""
+        """External threads calling query() directly, not via query_batch."""
         engine = make_engine(relation, cache_capacity=64)
         batch = mixed_batch(relation, 80, seed=4)
         truths = [relation.scan(p.attribute, p.op, p.value) for p in batch]
         with ThreadPoolExecutor(max_workers=8) as pool:
-            futures = [pool.submit(engine.submit, pred) for pred in batch]
+            futures = [pool.submit(engine.query, pred) for pred in batch]
             results = [f.result() for f in futures]
         for result, truth in zip(results, truths):
             assert np.array_equal(result.rids, truth)
@@ -126,7 +127,7 @@ class TestContention:
         engine = make_engine(relation)
         pred = AttributePredicate("supplier", "=", 7)
         with ThreadPoolExecutor(max_workers=8) as pool:
-            futures = [pool.submit(engine.submit, pred) for _ in range(16)]
+            futures = [pool.submit(engine.query, pred) for _ in range(16)]
             for f in futures:
                 f.result()
         assert engine.registry.snapshot()["builds"] == 1
@@ -135,7 +136,7 @@ class TestContention:
     def test_zero_capacity_cache_disables_caching(self, relation):
         engine = make_engine(relation, cache_capacity=0)
         batch = mixed_batch(relation, 30, seed=5)
-        results = engine.submit_batch(batch, workers=4)
+        results = engine.query_batch(batch, workers=4)
         for pred, result in zip(batch, results):
             assert np.array_equal(
                 result.rids, relation.scan(pred.attribute, pred.op, pred.value)
@@ -149,7 +150,7 @@ class TestContention:
     def test_small_cache_evicts_but_stays_correct(self, relation):
         engine = make_engine(relation, cache_capacity=2)
         batch = mixed_batch(relation, 50, seed=6)
-        results = engine.submit_batch(batch, workers=4)
+        results = engine.query_batch(batch, workers=4)
         for pred, result in zip(batch, results):
             assert np.array_equal(
                 result.rids, relation.scan(pred.attribute, pred.op, pred.value)
@@ -162,7 +163,7 @@ class TestContention:
 class TestMetricsAndWarm:
     def test_snapshot_shape_and_percentiles(self, relation):
         engine = make_engine(relation)
-        engine.submit_batch(mixed_batch(relation, 25, seed=7), workers=4)
+        engine.query_batch(mixed_batch(relation, 25, seed=7), workers=4)
         snap = engine.snapshot()
         latency = snap["latency_ms"]
         assert snap["queries"] == 25
@@ -175,50 +176,70 @@ class TestMetricsAndWarm:
         engine = make_engine(relation)
         assert engine.warm() == 3
         assert engine.registry.snapshot()["builds"] == 3
-        engine.submit_batch(mixed_batch(relation, 10, seed=8), workers=2)
+        engine.query_batch(mixed_batch(relation, 10, seed=8), workers=2)
         assert engine.registry.snapshot()["builds"] == 3  # no rebuilds
 
     def test_reset_cache_and_metrics(self, relation):
         engine = make_engine(relation)
-        engine.submit_batch(mixed_batch(relation, 10, seed=9), workers=2)
+        engine.query_batch(mixed_batch(relation, 10, seed=9), workers=2)
         engine.reset_cache()
         engine.reset_metrics()
         assert engine.cache.fetches == 0
         assert len(engine.cache) == 0
         assert engine.metrics.queries == 0
 
-    def test_io_model_records_modeled_wait(self, relation):
+    def test_storage_model_records_modeled_wait(self, relation):
         engine = make_engine(
-            relation, io_model=DiskModel(), io_time_scale=1e-6, cache_capacity=64
+            relation, storage=DiskModel(), io_time_scale=1e-6, cache_capacity=64
         )
-        engine.submit(AttributePredicate("quantity", "<=", 20))
+        engine.query(AttributePredicate("quantity", "<=", 20))
         stats = engine.metrics.stats
         assert stats.scans > 0
         assert stats.io_seconds > 0
+
+    def test_io_model_shim_warns_and_still_models(self, relation):
+        QueryEngine._warned_io_model = False
+        with pytest.warns(DeprecationWarning, match="io_model= keyword"):
+            engine = make_engine(
+                relation,
+                io_model=DiskModel(),
+                io_time_scale=1e-6,
+                cache_capacity=64,
+            )
+        engine.query(AttributePredicate("quantity", "<=", 20))
+        assert engine.metrics.stats.io_seconds > 0
+        # The shim warns once per process, not per construction.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            make_engine(relation, io_model=DiskModel())
+
+    def test_storage_and_io_model_are_mutually_exclusive(self, relation):
+        with pytest.raises(EngineConfigError, match="not both"):
+            QueryEngine(storage=DiskModel(), io_model=DiskModel())
 
 
 class TestConfigErrors:
     def test_unregistered_relation_rejected(self, relation):
         engine = make_engine(relation)
         with pytest.raises(EngineConfigError):
-            engine.submit(AttributePredicate("quantity", "=", 1), relation="orders")
+            engine.query(AttributePredicate("quantity", "=", 1), relation="orders")
 
     def test_no_relation_registered(self):
         with pytest.raises(EngineConfigError):
-            QueryEngine().submit(AttributePredicate("quantity", "=", 1))
+            QueryEngine().query(AttributePredicate("quantity", "=", 1))
 
     def test_unserved_attribute_rejected(self, relation):
         engine = QueryEngine()
         engine.register(relation, attributes=["quantity"])
         with pytest.raises(EngineConfigError):
-            engine.submit(AttributePredicate("supplier", "=", 1))
+            engine.query(AttributePredicate("supplier", "=", 1))
 
     def test_bad_worker_counts_rejected(self, relation):
         with pytest.raises(EngineConfigError):
             QueryEngine(max_workers=0)
         engine = make_engine(relation)
         with pytest.raises(EngineConfigError):
-            engine.submit_batch([AttributePredicate("quantity", "=", 1)] * 2, workers=0)
+            engine.query_batch([AttributePredicate("quantity", "=", 1)] * 2, workers=0)
 
     def test_override_must_target_served_attribute(self, relation):
         engine = QueryEngine()
@@ -242,7 +263,7 @@ class TestConfigErrors:
             },
         )
         pred = AttributePredicate("quantity", "=", 7)
-        result = engine.submit(pred)
+        result = engine.query(pred)
         assert np.array_equal(result.rids, relation.scan("quantity", "=", 7))
         index = engine.registry.peek(("lineitem", "quantity"))
         assert index.encoding is EncodingScheme.EQUALITY

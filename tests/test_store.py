@@ -1,0 +1,514 @@
+"""Tests for the persistent on-disk index store (``.rbix`` format).
+
+Covers the PR's contract end to end: codec round-trips through a real
+file, mmap lazy loading (dictionary eagerly, payloads only when a query
+touches them), crash-atomic append + compaction, and typed corruption
+detection for every region of the format — a damaged store must raise
+:class:`~repro.errors.CorruptFileError`, never return a wrong answer.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.decomposition import Base
+from repro.core.encoding import EncodingScheme
+from repro.core.index import BitmapIndex
+from repro.errors import (
+    BufferConfigError,
+    CorruptFileError,
+    EngineConfigError,
+    FileMissingError,
+    InjectedFaultError,
+    StorageError,
+    ValueOutOfRangeError,
+)
+from repro.faults import FaultPlan, FaultSpec
+from repro.query.options import QueryOptions
+from repro.query.predicate import AttributePredicate
+from repro.relation.relation import Relation
+from repro.stats import ExecutionStats
+from repro.storage import IndexStore, Storage
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskModel
+from repro.storage.fsdisk import FileSystemDisk
+from repro.storage.store import _HEADER, _MAGIC
+
+NUM_ROWS = 600
+REGIONS = np.array(["east", "north", "south", "west"])
+
+
+def make_relation(num_rows: int = NUM_ROWS, seed: int = 11) -> Relation:
+    rng = np.random.default_rng(seed)
+    return Relation.from_dict(
+        "sales",
+        {
+            "quantity": rng.integers(0, 40, num_rows),
+            "region": REGIONS[rng.integers(0, 4, num_rows)],
+        },
+    )
+
+
+@pytest.fixture
+def relation() -> Relation:
+    return make_relation()
+
+
+@pytest.fixture
+def store_dir(tmp_path) -> str:
+    return str(tmp_path / "indexes")
+
+
+def flip_byte(path: str, offset: int) -> None:
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)
+        handle.seek(offset)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+
+
+def all_slot_bools(source, reference: BitmapIndex) -> None:
+    """Every stored slot must decode bit-identical to the in-memory index."""
+    stats = ExecutionStats()
+    for comp in range(1, reference.base.n + 1):
+        for slot in reference.stored_slots(comp):
+            stored = source.fetch(comp, slot, stats, codec="dense")
+            expected = reference.components[comp - 1].bitmap(slot)
+            assert np.array_equal(stored.to_bools(), expected.to_bools()), (
+                f"component {comp} slot {slot} diverged"
+            )
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("codec", ["dense", "wah", "roaring"])
+    def test_codec_round_trip_after_reopen(self, store_dir, relation, codec):
+        base = Base((8, 5))
+        with IndexStore(store_dir) as store:
+            summary = store.build(
+                relation, codec=codec, base=base, encoding=EncodingScheme.RANGE
+            )
+        assert summary["attributes"]["quantity"]["codec"] == codec
+        # A brand-new store instance sees only the bytes on disk.
+        with IndexStore(store_dir) as store:
+            for attr in ("quantity", "region"):
+                column = relation.column(attr)
+                reference = BitmapIndex(
+                    column.codes,
+                    column.cardinality,
+                    base=base,
+                    encoding=EncodingScheme.RANGE,
+                )
+                source = store.bitmap_source("sales", attr)
+                assert source is not None
+                assert source.stored_codec == codec
+                assert source.nbits == NUM_ROWS
+                assert source.cardinality == column.cardinality
+                all_slot_bools(source, reference)
+
+    def test_per_attribute_codec_choice(self, store_dir, relation):
+        with IndexStore(store_dir) as store:
+            store.build(relation, codec={"quantity": "wah", "region": "roaring"})
+        with IndexStore(store_dir) as store:
+            assert store.bitmap_source("sales", "quantity").stored_codec == "wah"
+            assert store.bitmap_source("sales", "region").stored_codec == "roaring"
+
+    def test_relation_view_restores_dictionary(self, store_dir, relation):
+        with IndexStore(store_dir) as store:
+            store.build(relation)
+        with IndexStore(store_dir) as store:
+            view = store.relation_view("sales")
+            assert view.num_rows == NUM_ROWS
+            assert sorted(view.columns) == ["quantity", "region"]
+            np.testing.assert_array_equal(
+                view.column("region").dictionary, np.sort(np.unique(REGIONS))
+            )
+            # Stored columns hold no row values: scans must refuse, not lie.
+            with pytest.raises(StorageError):
+                view.scan("region", "=", "east")
+
+    def test_introspection(self, store_dir, relation):
+        store = IndexStore(store_dir)
+        assert store.relations() == []
+        store.build(relation)
+        assert store.relations() == ["sales"]
+        assert store.attributes("sales") == ["quantity", "region"]
+        assert store.has("sales", "region")
+        assert not store.has("sales", "discount")
+        assert not store.has("orders")
+        assert store.bitmap_source("sales", "discount") is None
+        assert store.bitmap_source("orders", "region") is None
+        assert store.total_bytes() == store.total_bytes("sales") > 0
+        store.close()
+
+    def test_illegal_relation_names_rejected(self, store_dir):
+        store = IndexStore(store_dir)
+        for name in ("", ".", "..", "a/b", ".tmp-x"):
+            with pytest.raises(StorageError):
+                store.has(name)
+
+
+class TestStorageProtocol:
+    def test_backends_conform(self, store_dir, tmp_path):
+        assert isinstance(IndexStore(store_dir), Storage)
+        assert isinstance(DiskModel(), Storage)
+        assert isinstance(FileSystemDisk(str(tmp_path / "fs")), Storage)
+
+    def test_real_io_backends_model_no_wait(self, store_dir):
+        store = IndexStore(store_dir)
+        assert store.read_seconds(3, 4096) == 0.0
+        assert DiskModel().read_seconds(3, 4096) > 0.0
+
+    def test_io_snapshot_shape(self, store_dir, relation):
+        store = IndexStore(store_dir)
+        store.build(relation)
+        snap = store.io_snapshot()
+        assert snap["backend"] == "store"
+        assert snap["bytes_written"] > 0
+        for key in ("dict_bytes", "payload_bytes_read", "bitmaps_materialized",
+                    "pages_touched", "opens"):
+            assert key in snap
+
+    def test_buffer_pool_fronts_a_storage_backend(self, store_dir, relation):
+        with IndexStore(store_dir) as store:
+            store.build(relation)
+        store = IndexStore(store_dir)
+        pool = BufferPool(
+            store, capacity=4, policy="lru", relation="sales", attribute="quantity"
+        )
+        stats = ExecutionStats()
+        first = pool.fetch(1, 1, stats)
+        again = pool.fetch(1, 1, stats)
+        assert np.array_equal(first.to_bools(), again.to_bools())
+        assert pool.hits == 1
+        with pytest.raises(BufferConfigError, match="relation= and attribute="):
+            BufferPool(store, capacity=4, policy="lru")
+        with pytest.raises(BufferConfigError, match="holds no bitmaps"):
+            BufferPool(
+                store, capacity=4, policy="lru",
+                relation="sales", attribute="discount",
+            )
+
+
+class TestLazyLoading:
+    def test_open_reads_dictionary_not_payloads(self, store_dir, relation):
+        with IndexStore(store_dir) as store:
+            store.build(relation)
+        store = IndexStore(store_dir)
+        source = store.bitmap_source("sales", "quantity")
+        assert source is not None
+        assert store.stats.opens == 1
+        assert store.stats.dict_bytes > 0
+        assert store.stats.payload_bytes_read == 0
+        assert store.stats.bitmaps_materialized == 0
+
+    def test_single_predicate_touches_only_its_payloads(self, store_dir, relation):
+        with IndexStore(store_dir) as store:
+            summary = store.build(relation, codec="wah")
+        quantity_bytes = summary["attributes"]["quantity"]["payload_bytes"]
+        engine = repro.open_store(store_dir)
+        store = engine.storage
+        engine.query(AttributePredicate("quantity", "<=", 7))
+        # Only quantity payloads may have been materialized — strictly
+        # fewer bytes than that attribute holds (a one-sided range query
+        # never needs every slot), and none of region's.
+        assert 0 < store.stats.payload_bytes_read < quantity_bytes
+        assert store.stats.bitmaps_materialized < (
+            summary["attributes"]["quantity"]["num_bitmaps"]
+        )
+        assert store.stats.pages_touched > 0
+        engine.close()
+
+    def test_repeat_fetch_rereads_but_verifies_crc_once(self, store_dir, relation):
+        with IndexStore(store_dir) as store:
+            store.build(relation)
+        store = IndexStore(store_dir)
+        source = store.bitmap_source("sales", "quantity")
+        stats = ExecutionStats()
+        source.fetch(1, 1, stats)
+        once = store.stats.payload_bytes_read
+        source.fetch(1, 1, stats)
+        assert store.stats.payload_bytes_read == 2 * once
+        assert store.stats.bitmaps_materialized == 2
+
+
+class TestAppendCompact:
+    def test_append_merges_into_served_bitmaps(self, store_dir):
+        base_rel = make_relation(500, seed=11)
+        tail = make_relation(100, seed=12)
+        full_quantity = np.concatenate(
+            [base_rel.column("quantity").values, tail.column("quantity").values]
+        )
+        with IndexStore(store_dir) as store:
+            store.build(base_rel)
+            total = store.append(
+                "sales",
+                {
+                    "quantity": tail.column("quantity").values,
+                    "region": tail.column("region").values,
+                },
+            )
+            assert total == 600
+            assert store.delta_rows("sales") == 100
+        engine = repro.open_store(store_dir)
+        result = engine.query(AttributePredicate("quantity", "<=", 13))
+        truth = np.nonzero(full_quantity <= 13)[0]
+        np.testing.assert_array_equal(result.rids, truth)
+        engine.close()
+
+    def test_compact_differential_against_rebuild(self, store_dir):
+        base_rel = make_relation(500, seed=21)
+        tail = make_relation(100, seed=22)
+        full = Relation.from_dict(
+            "sales",
+            {
+                "quantity": np.concatenate(
+                    [base_rel.column("quantity").values,
+                     tail.column("quantity").values]
+                ),
+                "region": np.concatenate(
+                    [base_rel.column("region").values,
+                     tail.column("region").values]
+                ),
+            },
+        )
+        with IndexStore(store_dir) as store:
+            store.build(base_rel, codec="wah")
+            store.append(
+                "sales",
+                {
+                    "quantity": tail.column("quantity").values,
+                    "region": tail.column("region").values,
+                },
+            )
+            summary = store.compact("sales")
+            assert summary["compacted"] is True
+            assert summary["rows"] == 600
+            assert store.delta_rows("sales") == 0
+            assert not os.path.exists(
+                os.path.join(store.root, "sales.rbix.delta")
+            )
+            assert store.verify("sales") == []
+        # Every compacted bitmap must equal the one a from-scratch build
+        # over the concatenated rows would produce.
+        with IndexStore(store_dir) as store:
+            for attr in ("quantity", "region"):
+                column = full.column(attr)
+                source = store.bitmap_source("sales", attr)
+                reference = BitmapIndex(
+                    column.codes,
+                    column.cardinality,
+                    base=source.base,
+                    encoding=source.encoding,
+                )
+                all_slot_bools(source, reference)
+
+    def test_append_rejects_unknown_values(self, store_dir, relation):
+        with IndexStore(store_dir) as store:
+            store.build(relation)
+            with pytest.raises(ValueOutOfRangeError, match="rebuild"):
+                store.append(
+                    "sales",
+                    {
+                        "quantity": np.array([1]),
+                        "region": np.array(["atlantis"]),
+                    },
+                )
+
+    def test_append_must_cover_all_attributes(self, store_dir, relation):
+        with IndexStore(store_dir) as store:
+            store.build(relation)
+            with pytest.raises(ValueOutOfRangeError, match="every stored attribute"):
+                store.append("sales", {"quantity": np.array([1])})
+
+    def test_crash_during_append_leaves_store_intact(self, store_dir, relation):
+        plan = FaultPlan(
+            [FaultSpec("disk.write", "error", match=".rbix.delta")]
+        )
+        with IndexStore(store_dir) as store:
+            store.build(relation)
+        store = IndexStore(store_dir, fault_plan=plan)
+        rows = {
+            "quantity": np.array([3, 4]),
+            "region": np.array(["east", "west"]),
+        }
+        with pytest.raises(InjectedFaultError):
+            store.append("sales", rows)
+        store.close()
+        # Recovery: the base file never changed and no torn delta exists.
+        with IndexStore(store_dir) as store:
+            assert store.delta_rows("sales") == 0
+            assert store.verify("sales") == []
+            assert not any(
+                name.startswith(".tmp-") for name in os.listdir(store.root)
+            )
+            # The failed append left nothing behind; retrying succeeds.
+            assert store.append("sales", rows) == NUM_ROWS + 2
+
+    def test_compact_is_idempotent(self, store_dir, relation):
+        with IndexStore(store_dir) as store:
+            store.build(relation)
+            store.append(
+                "sales",
+                {"quantity": np.array([5]), "region": np.array(["east"])},
+            )
+            first = store.compact()
+            second = store.compact()
+        assert first["sales"]["compacted"] is True
+        assert first["sales"]["rows"] == NUM_ROWS + 1
+        assert second["sales"]["compacted"] is False
+        assert second["sales"]["rows"] == NUM_ROWS + 1
+
+
+class TestCorruptionDetection:
+    """Each region of the format detects damage with a typed error."""
+
+    def build(self, store_dir, relation, with_delta=False) -> str:
+        with IndexStore(store_dir) as store:
+            store.build(relation)
+            if with_delta:
+                store.append(
+                    "sales",
+                    {"quantity": np.array([1]), "region": np.array(["east"])},
+                )
+        return os.path.join(store_dir, "sales.rbix")
+
+    def test_bad_magic(self, store_dir, relation):
+        path = self.build(store_dir, relation)
+        flip_byte(path, 0)
+        with pytest.raises(CorruptFileError, match="magic"):
+            IndexStore(store_dir).bitmap_source("sales", "quantity")
+
+    def test_header_field_flip(self, store_dir, relation):
+        path = self.build(store_dir, relation)
+        flip_byte(path, 9)  # inside dict_offset
+        with pytest.raises(CorruptFileError):
+            IndexStore(store_dir).bitmap_source("sales", "quantity")
+
+    def test_dictionary_flip(self, store_dir, relation):
+        path = self.build(store_dir, relation)
+        with open(path, "rb") as handle:
+            header = handle.read(_HEADER.size)
+        magic, _, _, dict_offset, dict_length, _, _ = _HEADER.unpack(header)
+        assert magic == _MAGIC
+        flip_byte(path, dict_offset + dict_length // 2)
+        with pytest.raises(CorruptFileError, match="dictionary"):
+            IndexStore(store_dir).bitmap_source("sales", "quantity")
+
+    def test_payload_flip_caught_at_fetch(self, store_dir, relation):
+        path = self.build(store_dir, relation)
+        flip_byte(path, os.path.getsize(path) - 1)  # last payload byte
+        store = IndexStore(store_dir)
+        # Lazy open still succeeds — the damage sits in a payload.
+        sources = [
+            store.bitmap_source("sales", attr)
+            for attr in ("quantity", "region")
+        ]
+        problems = store.verify("sales")
+        assert problems and "checksum" in problems[0]
+        # Exhaustive fetch must surface the damage as a typed error,
+        # never as a silently wrong bitmap.
+        stats = ExecutionStats()
+        with pytest.raises(CorruptFileError, match="checksum"):
+            for source in sources:
+                for comp in range(1, source.base.n + 1):
+                    for slot in source.stored_slots(comp):
+                        source.fetch(comp, slot, stats)
+
+    def test_truncated_file_fails_bounds_check(self, store_dir, relation):
+        path = self.build(store_dir, relation)
+        with open(path, "r+b") as handle:
+            handle.truncate(os.path.getsize(path) - 16)
+        with pytest.raises(CorruptFileError):
+            IndexStore(store_dir).bitmap_source("sales", "quantity")
+
+    def test_delta_flip(self, store_dir, relation):
+        self.build(store_dir, relation, with_delta=True)
+        delta = os.path.join(store_dir, "sales.rbix.delta")
+        flip_byte(delta, os.path.getsize(delta) - 1)
+        with pytest.raises(CorruptFileError):
+            IndexStore(store_dir).bitmap_source("sales", "quantity")
+
+    def test_injected_read_corruption_is_typed(self, store_dir, relation):
+        self.build(store_dir, relation)
+        plan = FaultPlan([FaultSpec("disk.read", "corrupt")])
+        store = IndexStore(store_dir, fault_plan=plan)
+        source = store.bitmap_source("sales", "quantity")
+        with pytest.raises(CorruptFileError, match="checksum"):
+            source.fetch(1, 1, ExecutionStats())
+
+    def test_scrub_quarantines_corrupt_relations(self, store_dir, relation):
+        path = self.build(store_dir, relation)
+        flip_byte(path, os.path.getsize(path) - 1)
+        store = IndexStore(store_dir)
+        assert store.scrub() == ["sales"]
+        assert store.relations() == []
+        sheltered = os.listdir(os.path.join(store_dir, ".quarantine"))
+        assert "sales.rbix" in sheltered
+        with pytest.raises(FileMissingError):
+            store.verify("sales")
+        # The store is immediately rebuildable in place.
+        store.build(relation)
+        assert store.verify("sales") == []
+
+    def test_missing_relation_raises(self, store_dir):
+        store = IndexStore(store_dir)
+        with pytest.raises(FileMissingError):
+            store.verify("ghost")
+
+
+class TestEngineIntegration:
+    def test_open_store_serves_ground_truth(self, store_dir, relation):
+        with IndexStore(store_dir) as store:
+            store.build(relation)
+        engine = repro.open_store(store_dir)
+        quantity = relation.column("quantity").values
+        region = relation.column("region").values
+        result = engine.query(AttributePredicate("quantity", ">", 30))
+        np.testing.assert_array_equal(
+            result.rids, np.nonzero(quantity > 30)[0]
+        )
+        result = engine.query(AttributePredicate("region", "=", "west"))
+        np.testing.assert_array_equal(
+            result.rids, np.nonzero(region == "west")[0]
+        )
+        engine.close()
+
+    def test_explain_reports_real_io_counters(self, store_dir, relation):
+        with IndexStore(store_dir) as store:
+            store.build(relation)
+        engine = repro.open_store(store_dir)
+        report = engine.explain(AttributePredicate("quantity", "<=", 3))
+        assert report.storage_io is not None
+        assert report.storage_io["backend"] == "store"
+        assert report.storage_io["payload_bytes_read"] > 0
+        assert report.storage_io["bitmaps_materialized"] > 0
+        text = report.format()
+        assert "storage I/O" in text
+        assert "payload bytes read" in text
+        assert report.as_dict()["storage_io"]["backend"] == "store"
+        engine.close()
+
+    def test_process_backend_rejected_for_stored_relations(
+        self, store_dir, relation
+    ):
+        with IndexStore(store_dir) as store:
+            store.build(relation)
+        engine = repro.open_store(store_dir)
+        with pytest.raises(EngineConfigError, match="process"):
+            engine.query(
+                AttributePredicate("quantity", "<=", 3),
+                options=QueryOptions(backend="processes", shards=2),
+            )
+        engine.close()
+
+    def test_engine_close_releases_store(self, store_dir, relation):
+        with IndexStore(store_dir) as store:
+            store.build(relation)
+        engine = repro.open_store(store_dir)
+        engine.query(AttributePredicate("quantity", "<=", 3))
+        engine.close()
+        assert engine.storage._files == {}

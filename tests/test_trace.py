@@ -227,42 +227,40 @@ class TestUnifiedQueryAPI:
         )
         assert result.count > 0
 
-    def test_submit_aliases_remain(self, relation):
+    def test_submit_aliases_are_gone(self, relation):
         engine = make_engine(relation)
+        assert not hasattr(engine, "submit")
+        assert not hasattr(engine, "submit_batch")
         predicate = AttributePredicate("quantity", "<=", 25)
-        one = engine.submit(predicate)
-        batch = engine.submit_batch([predicate, predicate], workers=1)
+        one = engine.query(predicate)
+        batch = engine.query_batch([predicate, predicate], workers=1)
         assert np.array_equal(one.rids, batch[0].rids)
 
-    def test_legacy_verify_keyword_warns_but_works(self, relation):
+    def test_legacy_verify_keyword_is_rejected(self, relation):
         index = bitmap_index_for(relation, "quantity")
-        with pytest.warns(DeprecationWarning, match="verify= keyword"):
-            result = execute(
+        with pytest.raises(TypeError):
+            execute(
                 relation,
                 AttributePredicate("quantity", "<=", 25),
                 AccessPath.BITMAP,
                 index=index,
                 verify=True,
             )
+
+    def test_options_carry_verify(self, relation):
+        index = bitmap_index_for(relation, "quantity")
+        result = execute(
+            relation,
+            AttributePredicate("quantity", "<=", 25),
+            AccessPath.BITMAP,
+            index=index,
+            options=QueryOptions(verify=True, trace=True),
+        )
         truth = np.nonzero(relation.column("quantity").values <= 25)[0]
         assert np.array_equal(result.rids, truth)
-
-    def test_explicit_legacy_keyword_wins_over_options(self, relation):
-        index = bitmap_index_for(relation, "quantity")
-        with pytest.warns(DeprecationWarning):
-            result = execute(
-                relation,
-                AttributePredicate("quantity", "<=", 25),
-                AccessPath.BITMAP,
-                index=index,
-                verify=False,
-                options=QueryOptions(verify=True, trace=True),
-            )
-        # trace from options survives; verify was overridden (no way to
-        # observe directly, but the call must not have scanned twice).
         assert result.trace is not None
         names = [span.name for span in result.trace.spans]
-        assert "verify" not in names
+        assert "verify" in names
 
 
 # ----------------------------------------------------------------------
