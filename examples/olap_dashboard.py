@@ -7,7 +7,11 @@ Puts the whole library to work on one fact table:
 2. the cost-based optimizer picks P1/P2/P3 per query (the introduction's
    plan analysis);
 3. bit-sliced aggregation computes SUM/AVG/MIN/MAX of the measure column
-   over each query's foundset without touching the relation.
+   over each query's foundset without touching the relation;
+4. the serving engine answers the dashboard's breakdown panel with
+   pushed-down aggregates: ``group_count`` over a threshold expression
+   returns per-channel counts from popcounts alone, no RID list ever
+   materialized.
 
 Run:  python examples/olap_dashboard.py
 """
@@ -16,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import AttributeSpec, BitSlicedAggregator, allocate_budget
+from repro import AttributeSpec, BitSlicedAggregator, QueryEngine, allocate_budget
 from repro.bitmaps.bitvector import BitVector
 from repro.query.executor import bitmap_index_for
 from repro.query.optimizer import Catalog, choose_plan, execute_plan
@@ -97,6 +101,17 @@ def main() -> None:
         else:
             print("  rows: 0")
         print()
+
+    # 4. The breakdown panel: per-channel counts of "interesting" sales
+    #    (at least 2 of 3 signals), pushed down to popcounts.
+    breakdown = "atleast(2, store <= 99, product <= 24, channel >= 2)"
+    with QueryEngine(codec="wah") as engine:
+        engine.register(relation)
+        per_channel = engine.group_count(breakdown, by="channel")
+        print(f"breakdown: {breakdown} by channel")
+        print(f"  total rows: {per_channel.count:,} (no RIDs materialized)")
+        for channel, matched in sorted(per_channel.groups.items()):
+            print(f"  channel {channel}: {matched:,}")
 
 
 if __name__ == "__main__":

@@ -36,6 +36,7 @@ from repro.core import (
 )
 from repro.core.advisor import IndexDesign, recommend
 from repro.engine import (
+    AggregateResult,
     CircuitBreaker,
     QueryEngine,
     RetryPolicy,
@@ -45,6 +46,7 @@ from repro.core.aggregation import BitSlicedAggregator
 from repro.core.multi import AttributeSpec, TableDesign, allocate_budget
 from repro.errors import QueryTimeoutError, ReproError
 from repro.faults import Deadline, FaultPlan, FaultSpec
+from repro.query.expression import Threshold, Xor, parse_expression
 from repro.query.options import QueryOptions
 from repro.stats import ExecutionStats
 from repro.storage import IndexStore, Storage
@@ -78,6 +80,7 @@ def open_store(path: str, **engine_opts) -> QueryEngine:
     return engine
 
 __all__ = [
+    "AggregateResult",
     "AttributeSpec",
     "Base",
     "BitSlicedAggregator",
@@ -103,12 +106,15 @@ __all__ = [
     "Storage",
     "Table",
     "TableDesign",
+    "Threshold",
+    "Xor",
     "allocate_budget",
     "equality_eval",
     "evaluate",
     "explain",
     "get_codec",
     "open_store",
+    "parse_expression",
     "range_eval",
     "range_eval_opt",
     "recommend",

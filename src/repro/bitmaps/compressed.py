@@ -28,6 +28,7 @@ from repro.bitmaps.bitvector import BitVector
 from repro.bitmaps.wah import (
     wah_and,
     wah_and_many,
+    wah_and_popcount,
     wah_decode,
     wah_encode,
     wah_not,
@@ -35,6 +36,7 @@ from repro.bitmaps.wah import (
     wah_or,
     wah_or_many,
     wah_popcount,
+    wah_threshold_many,
     wah_word_count,
     wah_xor,
     wah_zeros,
@@ -114,6 +116,17 @@ class WahBitVector:
         """Population count, computed on the compressed form."""
         return wah_popcount(self._blob)
 
+    def and_count(self, other: "WahBitVector") -> int:
+        """``(self & other).count()`` without materializing the AND.
+
+        The aggregate-pushdown primitive: one fused run merge
+        (:func:`repro.bitmaps.wah.wah_and_popcount`) — no result payload
+        is encoded, so intersect-and-count stays cheap even when the
+        intersection itself is incompressible.
+        """
+        self._check(other)
+        return wah_and_popcount(self._blob, other._blob)
+
     def any(self) -> bool:
         return self.count() > 0
 
@@ -176,6 +189,28 @@ class WahBitVector:
         for other in vectors[1:]:
             first._check(other)
         return cls(wah_and_many([v._blob for v in vectors]), first._nbits)
+
+    @classmethod
+    def threshold_many(
+        cls, vectors: Sequence["WahBitVector"], k: int
+    ) -> "WahBitVector":
+        """k-of-N threshold in one multi-way run merge.
+
+        Bit ``i`` of the result is set iff at least ``k`` operands have
+        bit ``i`` set; ``k <= 0`` clamps to all-ones and ``k > N`` to
+        all-zeros over the true bit length.  Runs entirely in the
+        compressed domain (:func:`repro.bitmaps.wah.wah_threshold_many`).
+        """
+        first = vectors[0]
+        for other in vectors[1:]:
+            first._check(other)
+        if k <= 0:
+            return cls.ones(first._nbits)
+        if k > len(vectors):
+            return cls.zeros(first._nbits)
+        return cls(
+            wah_threshold_many([v._blob for v in vectors], k), first._nbits
+        )
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, WahBitVector):

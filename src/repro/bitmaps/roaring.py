@@ -327,6 +327,19 @@ def _container_and(a, b):
     return _seal_words(_container_words(a) & _container_words(b))
 
 
+def _container_and_count(a, b) -> int:
+    """Cardinality of the container intersection without sealing it."""
+    ka, kb = a[0], b[0]
+    if ka == ARRAY and kb == ARRAY:
+        return int(np.intersect1d(a[1], b[1], assume_unique=True).size)
+    if ka == ARRAY or kb == ARRAY:
+        arr, other = (a, b) if ka == ARRAY else (b, a)
+        return int(_member_mask(arr[1].astype(np.int64), other).sum())
+    if ka == RUN and kb == RUN:
+        return int(_and_runs(a[1], b[1])[1].sum())
+    return int(_popcount_words(_container_words(a) & _container_words(b)))
+
+
 def _container_or(a, b):
     ka, kb = a[0], b[0]
     if ka == ARRAY and kb == ARRAY:
@@ -528,6 +541,22 @@ class RoaringBitmap:
         """Population count, summed container by container."""
         return sum(_container_count(c) for c in self._containers)
 
+    def and_count(self, other: "RoaringBitmap") -> int:
+        """``(self & other).count()`` without sealing result containers.
+
+        The aggregate-pushdown primitive: intersects chunk pairs with the
+        same kind-specialized paths as ``&`` but counts in place — no
+        result container is classified, copied, or sealed.
+        """
+        self._check(other)
+        mine = dict(zip(self._keys, self._containers))
+        total = 0
+        for key, theirs in zip(other._keys, other._containers):
+            ours = mine.get(key)
+            if ours is not None:
+                total += _container_and_count(ours, theirs)
+        return total
+
     def any(self) -> bool:
         return bool(self._containers)
 
@@ -638,6 +667,13 @@ class RoaringBitmap:
     def and_many(cls, vectors: Sequence["RoaringBitmap"]) -> "RoaringBitmap":
         """AND k bitmaps in one k-way container merge (see :func:`roaring_and_many`)."""
         return roaring_and_many(vectors)
+
+    @classmethod
+    def threshold_many(
+        cls, vectors: Sequence["RoaringBitmap"], k: int
+    ) -> "RoaringBitmap":
+        """k-of-N threshold over containers (see :func:`roaring_threshold_many`)."""
+        return roaring_threshold_many(vectors, k)
 
     # ------------------------------------------------------------------
     # Serialization
@@ -898,6 +934,124 @@ def roaring_and_many(vectors: Sequence[RoaringBitmap]) -> RoaringBitmap:
             keys.append(key)
             containers.append(acc)
     return RoaringBitmap(first.nbits, keys, containers)
+
+
+def roaring_threshold_many(
+    vectors: Sequence[RoaringBitmap], k: int
+) -> RoaringBitmap:
+    """k-of-N threshold: bit ``i`` set iff at least ``k`` operands set it.
+
+    ``k == 1`` is the k-way OR and ``k == N`` the k-way AND; intermediate
+    ``k`` is the symmetric threshold neither fold expresses.  Works
+    container-wise (Kaser & Lemire's per-chunk counter approach): each
+    chunk accumulates a per-position occurrence counter fed directly from
+    whatever container shapes its operands use — arrays bump their listed
+    positions, run containers add a delta/cumsum staircase, bitmap
+    containers unpack once — and chunks present in fewer than ``k``
+    operands are skipped without touching their containers at all.
+
+    ``k <= 0`` clamps to the all-ones bitmap and ``k > N`` to all-zeros.
+    """
+    if not vectors:
+        raise ValueError("roaring_threshold_many needs at least one vector")
+    first = vectors[0]
+    for other in vectors[1:]:
+        first._check(other)
+    if k <= 0:
+        return RoaringBitmap.ones(first.nbits)
+    if k > len(vectors):
+        return RoaringBitmap.zeros(first.nbits)
+    if len(vectors) == 1:
+        return first.copy()
+    per_chunk: dict[int, list] = {}
+    for vector in vectors:
+        for key, container in zip(vector._keys, vector._containers):
+            per_chunk.setdefault(key, []).append(container)
+    keys: list[int] = []
+    containers: list = []
+    for key in sorted(per_chunk):
+        group = per_chunk[key]
+        if len(group) < k:
+            continue  # fewer operands touch this chunk than the threshold
+        if all(kind != BITMAP for kind, _ in group):
+            # Run/array-only chunk: count coverage at run boundaries
+            # instead of per position — O(total runs), never 65536-wide.
+            merged = _threshold_boundary_merge(group, k)
+        else:
+            counts = np.zeros(CHUNK_SIZE, dtype=np.int32)
+            for kind, data in group:
+                if kind == ARRAY:
+                    # Array positions are unique, so fancy-index += is exact.
+                    counts[data.astype(np.int64)] += 1
+                elif kind == BITMAP:
+                    counts += np.unpackbits(
+                        data.view(np.uint8), bitorder="little"
+                    )
+                else:
+                    starts, lengths = data
+                    delta = np.zeros(CHUNK_SIZE + 1, dtype=np.int32)
+                    delta[starts] = 1
+                    delta[starts + lengths] -= 1
+                    counts += np.cumsum(delta[:CHUNK_SIZE])
+            merged = _seal_words(
+                np.packbits(counts >= k, bitorder="little").view(np.uint64)
+            )
+        if merged is not None:
+            keys.append(key)
+            containers.append(merged)
+    return RoaringBitmap(first.nbits, keys, containers)
+
+
+def _threshold_boundary_merge(group, k: int):
+    """k-of-N over one chunk's run/array containers, at run granularity.
+
+    Every operand contributes +1 at each interval start and -1 one past
+    its end (array positions are length-1 intervals); sorting the
+    boundary events and prefix-summing the deltas gives the coverage
+    depth between consecutive boundaries, and the ``depth >= k`` spans
+    are exactly the result's runs.  The whole chunk costs one sort of the
+    event list — proportional to the operands' run counts, not to
+    CHUNK_SIZE.
+    """
+    starts_parts = []
+    ends_parts = []
+    for kind, data in group:
+        if kind == ARRAY:
+            positions = data.astype(np.int64)
+            starts_parts.append(positions)
+            ends_parts.append(positions + 1)
+        else:
+            run_starts, run_lengths = data
+            starts_parts.append(run_starts.astype(np.int64))
+            ends_parts.append((run_starts + run_lengths).astype(np.int64))
+    starts = np.concatenate(starts_parts)
+    ends = np.concatenate(ends_parts)
+    points = np.concatenate((starts, ends))
+    deltas = np.concatenate(
+        (
+            np.ones(len(starts), dtype=np.int64),
+            np.full(len(ends), -1, dtype=np.int64),
+        )
+    )
+    order = np.argsort(points, kind="stable")
+    points = points[order]
+    coverage = np.cumsum(deltas[order])
+    # Keep the last event at each distinct boundary: its running sum is
+    # the coverage depth on [points[i], points[i + 1]).
+    last = np.empty(len(points), dtype=bool)
+    last[:-1] = points[1:] != points[:-1]
+    last[-1] = True
+    points = points[last]
+    coverage = coverage[last]
+    above = coverage >= k
+    # Coverage always falls back to zero at the final boundary (every +1
+    # has its -1), so each rising edge pairs with a later falling edge.
+    previous = np.empty(len(above), dtype=bool)
+    previous[0] = False
+    previous[1:] = above[:-1]
+    run_starts = points[above & ~previous]
+    run_ends = points[previous & ~above]
+    return _seal_runs(run_starts, run_ends - run_starts)
 
 
 # ----------------------------------------------------------------------

@@ -401,6 +401,38 @@ def wah_or(a: bytes, b: bytes) -> bytes:
     return _binary_op(a, b, np.bitwise_or)
 
 
+def wah_and_popcount(a: bytes, b: bytes) -> int:
+    """Popcount of ``a AND b`` without materializing the result payload.
+
+    The aggregate-pushdown kernel: same sorted boundary merge as
+    :func:`wah_and`, but the aligned run values are popcounted and
+    dotted with the segment lengths directly — no result runs are
+    re-encoded, so counting an intersection costs a parse and one
+    vectorized pass regardless of how incompressible the result is.
+    """
+    len_a, values_a, lengths_a = _parse_runs(a)
+    len_b, values_b, lengths_b = _parse_runs(b)
+    if len_a != len_b:
+        raise CorruptFileError(
+            f"compressed operands differ in length: {len_a} vs {len_b} bytes"
+        )
+    ends_a, ends_b = np.cumsum(lengths_a), np.cumsum(lengths_b)
+    merged = np.concatenate((ends_a, ends_b))
+    merged.sort()
+    if len(merged):
+        keep = np.empty(len(merged), dtype=bool)
+        keep[0] = True
+        np.not_equal(merged[1:], merged[:-1], out=keep[1:])
+        merged = merged[keep]
+    if len(merged) == 0:
+        return 0
+    aligned = values_a[np.searchsorted(ends_a, merged, side="left")] & values_b[
+        np.searchsorted(ends_b, merged, side="left")
+    ]
+    lengths = np.diff(merged, prepend=0)
+    return int(np.bitwise_count(aligned).astype(np.int64) @ lengths)
+
+
 def wah_xor(a: bytes, b: bytes) -> bytes:
     """XOR two encoded payloads without decompressing."""
     return _binary_op(a, b, np.bitwise_xor)
@@ -424,6 +456,66 @@ def wah_or_many(payloads: list[bytes]) -> bytes:
     if not payloads:
         raise ValueError("wah_or_many needs at least one payload")
     return _merge_runs([_parse_runs(p) for p in payloads], np.bitwise_or)
+
+
+def wah_threshold_many(payloads: list[bytes], k: int) -> bytes:
+    """k-of-N threshold over encoded payloads, in the compressed domain.
+
+    Returns the payload whose bit ``i`` is set iff at least ``k`` of the
+    operands have bit ``i`` set — ``k == 1`` is the N-way OR, ``k == N``
+    the N-way AND, and intermediate ``k`` the symmetric threshold that
+    neither fold can express.  The run boundaries of all operands are
+    merged in one sorted pass (exactly like :func:`wah_and_many`); within
+    each merged segment the per-bit-position counts across operands are
+    accumulated with one vectorized shift-and-mask per operand, then
+    compared against ``k`` — no bitmap is ever expanded to row
+    granularity, so cost stays proportional to total run count.
+
+    ``k <= 0`` yields the all-ones payload over the declared byte length
+    (every row trivially matches at least zero operands) and ``k > N``
+    the all-zero payload.
+    """
+    if not payloads:
+        raise ValueError("wah_threshold_many needs at least one payload")
+    parsed = [_parse_runs(p) for p in payloads]
+    orig_len = parsed[0][0]
+    for other_len, _, _ in parsed[1:]:
+        if other_len != orig_len:
+            raise CorruptFileError(
+                f"compressed operands differ in length: "
+                f"{orig_len} vs {other_len} bytes"
+            )
+    if k <= 0:
+        # Trivially true for every bit position, padding included — the
+        # caller masks padding via its own nbits; match wah_ones semantics
+        # over the byte length.
+        return wah_ones(orig_len * 8)
+    if k > len(payloads):
+        return wah_zeros(orig_len * 8)
+    ends = [np.cumsum(lengths) for _, _, lengths in parsed]
+    if len(parsed) == 1:
+        merged = ends[0]
+    else:
+        merged = np.concatenate(ends)
+        merged.sort()
+        if len(merged):
+            keep = np.empty(len(merged), dtype=bool)
+            keep[0] = True
+            np.not_equal(merged[1:], merged[:-1], out=keep[1:])
+            merged = merged[keep]
+    if len(merged) == 0:
+        return _HEADER.pack(orig_len)
+    # counts[s, b] = how many operands have bit b set in merged segment s.
+    shifts = np.arange(_GROUP_BITS, dtype=np.uint32)
+    counts = np.zeros((len(merged), _GROUP_BITS), dtype=np.int32)
+    for (_, values, _), end in zip(parsed, ends):
+        aligned = values[np.searchsorted(end, merged, side="left")]
+        counts += ((aligned[:, None] >> shifts) & np.uint32(1)).astype(np.int32)
+    result = ((counts >= k) * _POWERS).sum(axis=1, dtype=np.uint64).astype(
+        np.uint32
+    )
+    lengths = np.diff(merged, prepend=0)
+    return _encode_runs(result, lengths, orig_len)
 
 
 def wah_not(blob: bytes, nbits: int | None = None) -> bytes:
@@ -486,15 +578,14 @@ def wah_ones(nbits: int) -> bytes:
 
 
 def wah_popcount(blob: bytes) -> int:
-    """Set-bit count of an encoded payload, computed run-by-run."""
-    reader = _RunReader(blob)
-    total = 0
-    while not reader.exhausted:
-        if reader.is_fill:
-            if reader.value:
-                total += _GROUP_BITS * reader.remaining
-            reader.consume(reader.remaining)
-        else:
-            total += int(reader.value).bit_count()
-            reader.consume(1)
-    return total
+    """Set-bit count of an encoded payload, computed run-by-run.
+
+    One vectorized pass over the parsed runs: each run contributes its
+    group value's popcount times its length, so cost is proportional to
+    the number of runs (not bits), and literal-heavy payloads popcount
+    at numpy speed instead of a word-at-a-time Python loop.
+    """
+    _, values, lengths = _parse_runs(blob)
+    if len(values) == 0:
+        return 0
+    return int(np.bitwise_count(values).astype(np.int64) @ lengths)

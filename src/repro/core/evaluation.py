@@ -193,6 +193,55 @@ def _or_all(vectors: list, stats: ExecutionStats) -> Bitmap:
     return merge()
 
 
+def threshold_all(vectors: list, k: int, stats: ExecutionStats) -> Bitmap:
+    """k-of-N threshold over a non-empty list of bitmaps.
+
+    Bit ``i`` of the result is set iff at least ``k`` operands set it.
+    Each codec runs its native k-way kernel
+    (:meth:`WahBitVector.threshold_many` run-aligned counting,
+    :meth:`~repro.bitmaps.roaring.RoaringBitmap.threshold_many`
+    container-wise counters, :meth:`BitVector.threshold_many` word
+    counting); mixed-representation operands fall back to counting over
+    booleans.  The charged operation count — ``len(vectors) - 1`` ORs,
+    the same as :func:`_or_all` — is identical across codecs and
+    independent of the data, so every execution reports the same
+    :class:`ExecutionStats`.
+
+    ``k <= 0`` (trivially all rows) and ``k > N`` (unsatisfiable) clamp
+    to the constant bitmap without charging any operation, mirroring
+    :func:`_clamp_trivial`.
+    """
+    cls = type(vectors[0])
+    if k <= 0:
+        return cls.ones(vectors[0].nbits)
+    if k > len(vectors):
+        return cls.zeros(vectors[0].nbits)
+    if len(vectors) == 1:
+        return vectors[0]
+    stats.ors += len(vectors) - 1
+
+    def merge() -> Bitmap:
+        if all(type(v) is cls for v in vectors):
+            return cls.threshold_many(vectors, k)
+        counts = np.zeros(vectors[0].nbits, dtype=np.int32)
+        for v in vectors:
+            counts += v.to_bools()
+        return cls.from_bitvector(BitVector.from_bools(counts >= k)) if (
+            cls is not BitVector
+        ) else BitVector.from_bools(counts >= k)
+
+    if stats.trace is not None:
+        with stats.trace.span(
+            "threshold",
+            kind="op",
+            nbits=vectors[0].nbits,
+            k=k,
+            count=len(vectors) - 1,
+        ):
+            return merge()
+    return merge()
+
+
 def _zeros(source: BitmapSource) -> Bitmap:
     """A virtual all-zero bitmap in the source's representation."""
     return BITMAP_CLASSES[source_codec(source)].zeros(source.nbits)
@@ -756,3 +805,55 @@ def _require_encoding(source: BitmapSource, expected: EncodingScheme) -> None:
             f"algorithm requires a {expected.value}-encoded index, got "
             f"{source.encoding.value}"
         )
+
+
+def group_counts(
+    source: BitmapSource,
+    bitmap: Bitmap,
+    stats: ExecutionStats,
+    algorithm: str = "auto",
+) -> np.ndarray:
+    """Intersection cardinality of ``bitmap`` with each value of ``source``.
+
+    The GROUP BY half of aggregate pushdown: ``counts[v]`` is the number
+    of rows where ``bitmap`` is set and the indexed attribute equals
+    ``v``, computed entirely from popcounts — no RID list, no group eq
+    bitmap survives the call.
+
+    On a single-component *range-encoded* source the stored bitmaps are
+    cumulative (``R_v = A <= v``), so the per-value counts come from
+    ``C - 1`` fused intersect-popcounts and a running difference::
+
+        count(A = v AND B) = count(R_v AND B) - count(R_{v-1} AND B)
+
+    — no equality bitmap is ever XOR-materialized, which matters because
+    ``R_v XOR R_{v-1}`` is exactly the expensive step of
+    :func:`_eq_bitmap_range_encoded`.  Every other shape (equality or
+    interval encoding, multi-component bases, non-default algorithms)
+    falls back to per-value equality evaluation plus a fused
+    ``and_count``.  Both paths mask NULL rows of the grouping attribute
+    into no group.
+    """
+    cardinality = source.cardinality
+    counts = np.zeros(cardinality, dtype=np.int64)
+    if (
+        source.encoding is EncodingScheme.RANGE
+        and source.base.n == 1
+        and algorithm in ("auto", "range_eval_opt")
+    ):
+        masked = bitmap
+        if source.nonnull is not None:
+            masked = _and(bitmap, source.nonnull, stats)
+        previous = 0
+        for code in range(cardinality - 1):
+            stats.ands += 1
+            cumulative = int(masked.and_count(source.fetch(1, code, stats)))
+            counts[code] = cumulative - previous
+            previous = cumulative
+        counts[cardinality - 1] = int(masked.count()) - previous
+        return counts
+    for code in range(cardinality):
+        member = evaluate(source, Predicate("=", code), algorithm=algorithm, stats=stats)
+        stats.ands += 1
+        counts[code] = int(bitmap.and_count(member))
+    return counts

@@ -5,7 +5,7 @@ See :mod:`repro.engine.engine` for the architecture overview and
 """
 
 from repro.engine.cache import SharedBitmapCache
-from repro.engine.engine import IndexSpec, QueryEngine
+from repro.engine.engine import AggregateResult, IndexSpec, QueryEngine
 from repro.engine.metrics import EngineMetrics, LatencyReservoir, percentile
 from repro.engine.registry import IndexRegistry
 from repro.engine.resilience import CircuitBreaker, RetryPolicy
@@ -22,6 +22,7 @@ from repro.query.options import QueryOptions
 from repro.trace import ExplainReport, QueryTrace, explain
 
 __all__ = [
+    "AggregateResult",
     "BACKENDS",
     "CircuitBreaker",
     "EngineMetrics",

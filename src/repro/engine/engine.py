@@ -76,7 +76,8 @@ from repro.query.executor import (
     VerificationError,
     execute,
 )
-from repro.query.expression import Expression
+from repro.core.evaluation import group_counts
+from repro.query.expression import Comparison, Expression
 from repro.query.options import DEFAULT_OPTIONS, QueryOptions, normalize_query
 from repro.query.predicate import AttributePredicate
 from repro.relation.relation import Relation
@@ -137,6 +138,42 @@ class IndexSpec:
             b = integer_nth_root_ceil(cardinality, self.components)
             return Base.uniform(max(b, 2), cardinality)
         return None
+
+
+@dataclass(frozen=True)
+class _AggregateQuery:
+    """Internal marker wrapping an expression whose *count* is wanted.
+
+    The batch plumbing (local ladder and process backend) dispatches on
+    this type to skip RID materialization entirely: the answer is read
+    off bitmap popcounts, never ``indices()``.
+    """
+
+    expression: Expression
+    by: str | None = None
+
+    def __str__(self) -> str:
+        if self.by is None:
+            return f"count({self.expression})"
+        return f"group_count({self.expression} by {self.by})"
+
+
+@dataclass
+class AggregateResult:
+    """A pushed-down aggregate answer: counts without RID materialization.
+
+    ``count`` is the number of matching rows (for ``group_count`` it is
+    the sum over groups, which excludes rows whose group column is NULL
+    when the index tracks nulls).  ``groups`` maps every dictionary
+    value of the grouping column — including zero-count ones, so the
+    shape is deterministic across backends and shard counts — to its
+    matching-row count; it is ``None`` for plain ``count``.
+    """
+
+    count: int
+    groups: dict | None
+    stats: ExecutionStats
+    trace: QueryTrace | None = None
 
 
 class _CachedSource:
@@ -539,6 +576,75 @@ class QueryEngine:
             return self._run_one(name, q, options)
         return self._run_expression(name, q, options)
 
+    def count(
+        self,
+        query,
+        relation: str | None = None,
+        *,
+        options: QueryOptions | None = None,
+        trace: bool = False,
+    ) -> AggregateResult:
+        """COUNT(*) of a selection, answered from popcounts alone.
+
+        Accepts the same unified query forms as :meth:`query` but never
+        materializes a RID list: the expression's result bitmap is
+        popcounted in its native representation (a trace shows an
+        ``aggregate.pushdown`` phase and **no** ``materialize`` phase).
+        On the process backend each shard returns its local popcount and
+        the merge is a summation.  Returns an :class:`AggregateResult`.
+        """
+        return self._aggregate(query, None, relation, options, trace)
+
+    def group_count(
+        self,
+        query,
+        by: str,
+        relation: str | None = None,
+        *,
+        options: QueryOptions | None = None,
+        trace: bool = False,
+    ) -> AggregateResult:
+        """Per-group COUNT(*) of a selection, grouped by column ``by``.
+
+        For every dictionary value ``v`` of ``by``, the count is the
+        popcount of ``expr AND bitmap(by = v)`` — computed in the bitmap
+        domain with no RID materialization.  The equality bitmaps come
+        through the same cached path as query leaves, and are null-masked
+        when ``by``'s index tracks nulls, so NULL rows never land in any
+        group (matching SQL ``GROUP BY`` semantics).  ``result.groups``
+        maps each dictionary value (including zero-count ones) to its
+        count; ``result.count`` is the sum over groups.
+        """
+        return self._aggregate(query, by, relation, options, trace)
+
+    def _aggregate(
+        self,
+        query,
+        by: str | None,
+        relation: str | None,
+        options: QueryOptions | None,
+        trace: bool,
+    ) -> AggregateResult:
+        options = options if options is not None else DEFAULT_OPTIONS
+        if trace and not options.trace:
+            options = options.with_(trace=True)
+        name = self._resolve(relation)
+        q = normalize_query(query)
+        if isinstance(q, AttributePredicate):
+            # Aggregates always run the expression machinery; lift the
+            # single-predicate form into an equivalent leaf.
+            q = Comparison(q.attribute, q.op, q.value)
+        if by is not None:
+            self._spec_for(name, by)  # raises if ``by`` is not served
+        if self._backend_for(options) == "processes":
+            workers = options.workers or self.max_workers
+            result = self._process_batch(
+                [(name, _AggregateQuery(q, by))], options, workers
+            )[0]
+            assert isinstance(result, AggregateResult)
+            return result
+        return self._run_aggregate(name, q, by, options)
+
     def query_batch(
         self,
         queries: list,
@@ -587,7 +693,7 @@ class QueryEngine:
         resolved: list,
         options: QueryOptions,
         workers: int,
-    ) -> list[QueryResult]:
+    ) -> list[QueryResult | AggregateResult]:
         """Evaluate a resolved batch on the thread pool (or inline).
 
         The thread/inline execution shared by :meth:`query_batch` and
@@ -596,7 +702,11 @@ class QueryEngine:
         threaded = workers > 1 and len(resolved) > 1
         label = "threads" if threaded else "inline"
 
-        def run(name: str, q) -> QueryResult:
+        def run(name: str, q) -> QueryResult | AggregateResult:
+            if isinstance(q, _AggregateQuery):
+                return self._run_aggregate(
+                    name, q.expression, q.by, options, backend=label
+                )
             if isinstance(q, AttributePredicate):
                 return self._run_one(name, q, options, backend=label)
             return self._run_expression(name, q, options, backend=label)
@@ -1007,7 +1117,7 @@ class QueryEngine:
         resolved: list,
         options: QueryOptions,
         workers: int,
-    ) -> list[QueryResult]:
+    ) -> list[QueryResult | AggregateResult]:
         """Evaluate a resolved batch on the sharded process backend.
 
         The resilient wrapper around :meth:`_process_batch_once`: a
@@ -1143,6 +1253,34 @@ class QueryEngine:
                 op, code = column.code_bounds(q.op, q.value)
                 payload = ("pred", q.attribute, op, int(code))
                 mode = "predicate"
+            elif isinstance(q, _AggregateQuery):
+                expr_attrs = tuple(sorted(q.expression.attributes()))
+                needed = set(expr_attrs)
+                if q.by is not None:
+                    needed.add(q.by)
+                attributes = tuple(sorted(needed))
+                codecs = sorted(
+                    {self._codec_for(name, a, options) for a in attributes}
+                )
+                if len(codecs) > 1:
+                    raise EngineConfigError(
+                        f"aggregate over '{q.expression}' mixes bitmap "
+                        f"codecs {codecs}; give its attributes one codec "
+                        f"(per-query options.codec overrides every spec)"
+                    )
+                codec = codecs[0]
+                code_expr = translate_expression(q.expression, relation)
+                if q.by is None:
+                    payload = ("count", expr_attrs, code_expr)
+                else:
+                    payload = (
+                        "group",
+                        expr_attrs,
+                        code_expr,
+                        q.by,
+                        relation.column(q.by).cardinality,
+                    )
+                mode = "aggregate"
             else:
                 attributes = tuple(sorted(q.attributes()))
                 codecs = sorted(
@@ -1200,10 +1338,13 @@ class QueryEngine:
         options: QueryOptions,
         shards: int,
         fault_events: list[dict] | None = None,
-    ) -> QueryResult:
+    ) -> QueryResult | AggregateResult:
         """Turn one merged shard outcome into a recorded QueryResult."""
         name, mode, codec, q = meta
         stats = outcome.stats
+        access_path = {"predicate": "bitmap", "aggregate": "aggregate"}.get(
+            mode, "expression"
+        )
         trace = None
         if options.trace:
             trace = QueryTrace(label=str(q))
@@ -1212,7 +1353,7 @@ class QueryEngine:
                 kind="plan",
                 relation=name,
                 mode=mode,
-                access_path="bitmap" if mode == "predicate" else "expression",
+                access_path=access_path,
                 backend="processes",
                 shards=len(outcome.shard_seconds),
                 codec=codec,
@@ -1237,8 +1378,47 @@ class QueryEngine:
                     scans=shard_stats.scans,
                     bytes_read=shard_stats.bytes_read,
                 )
+            if mode == "aggregate":
+                # The pushdown is visible even on the process backend:
+                # shards returned popcounts, the merge was a summation,
+                # and no materialize phase ever ran.
+                trace.event("aggregate.pushdown", kind="phase", by=q.by)
             trace.finish()
             stats.trace = trace
+        if mode == "aggregate":
+            relation = self._relations[name]
+            if q.by is None:
+                total = int(outcome.aggregate)
+                groups = None
+            else:
+                dictionary = relation.column(q.by).dictionary
+                groups = {}
+                total = 0
+                for code, matched in enumerate(outcome.aggregate):
+                    key = dictionary[code]
+                    if isinstance(key, np.generic):
+                        key = key.item()
+                    groups[key] = int(matched)
+                    total += int(matched)
+            try:
+                if options.verify:
+                    self._verify_aggregate(
+                        relation, q.expression, q.by, total, groups
+                    )
+            except Exception:
+                self.metrics.record_failure()
+                raise
+            self.metrics.record(
+                outcome.latency_seconds,
+                stats,
+                relation=name,
+                access_path="aggregate",
+                codec=codec,
+                backend="processes",
+            )
+            return AggregateResult(
+                count=total, groups=groups, stats=stats, trace=trace
+            )
         try:
             if options.verify:
                 relation = self._relations[name]
@@ -1264,7 +1444,7 @@ class QueryEngine:
             outcome.latency_seconds,
             stats,
             relation=name,
-            access_path="bitmap" if mode == "predicate" else "expression",
+            access_path=access_path,
             codec=codec,
             backend="processes",
         )
@@ -1407,6 +1587,163 @@ class QueryEngine:
                 backend=backend,
             )
         return result
+
+    def _run_aggregate(
+        self,
+        relation_name: str,
+        expression: Expression,
+        by: str | None,
+        options: QueryOptions = DEFAULT_OPTIONS,
+        record: bool = True,
+        backend: str = "inline",
+    ) -> AggregateResult:
+        """Evaluate an expression and answer counts from popcounts alone.
+
+        The pushdown twin of :meth:`_run_expression`: the evaluate phase
+        is identical, but instead of a ``materialize`` phase calling
+        ``bitmap.indices()`` there is an ``aggregate.pushdown`` phase
+        that popcounts the result bitmap — per grouping value ANDed with
+        the group's cached equality bitmap when ``by`` is given.  No RID
+        array is ever built.
+        """
+        start = time.perf_counter()
+        trace = None
+        try:
+            relation = self._relations[relation_name]
+            stats = ExecutionStats()
+            if options.deadline_ms is not None:
+                stats.deadline = Deadline(options.deadline_ms)
+            attributes = set(expression.attributes())
+            if by is not None:
+                attributes.add(by)
+            sources = {
+                attribute: self._source_for(relation_name, attribute, options)
+                for attribute in attributes
+            }
+            codecs = sorted({s.bitmap_codec for s in sources.values()})
+            if len(codecs) > 1:
+                raise EngineConfigError(
+                    f"aggregate over '{expression}' mixes bitmap codecs "
+                    f"{codecs}; give its attributes one codec (per-query "
+                    f"options.codec overrides every spec)"
+                )
+            if options.trace:
+                label = (
+                    f"count({expression})"
+                    if by is None
+                    else f"group_count({expression} by {by})"
+                )
+                trace = QueryTrace(label=label)
+                stats.trace = trace
+                trace.event(
+                    "engine.dispatch",
+                    kind="plan",
+                    relation=relation_name,
+                    mode="aggregate",
+                    access_path="aggregate",
+                    compressed=any(s.compressed for s in sources.values()),
+                    codec=codecs[0],
+                    attributes=sorted(attributes),
+                    by=by,
+                )
+            if trace is not None:
+                with trace.span("evaluate", kind="phase", mode="aggregate"):
+                    bitmap = expression.bitmap(relation, sources, stats)
+                with trace.span(
+                    "aggregate.pushdown", kind="phase", by=by
+                ) as span:
+                    total, groups = self._pushdown_counts(
+                        relation, bitmap, by, sources, stats, options
+                    )
+                    span.attrs.update(
+                        count=total, groups=len(groups) if groups else 0
+                    )
+            else:
+                bitmap = expression.bitmap(relation, sources, stats)
+                total, groups = self._pushdown_counts(
+                    relation, bitmap, by, sources, stats, options
+                )
+            if options.verify:
+                self._verify_aggregate(relation, expression, by, total, groups)
+            if trace is not None:
+                trace.finish()
+            result = AggregateResult(
+                count=total, groups=groups, stats=stats, trace=trace
+            )
+        except QueryTimeoutError as exc:
+            if record:
+                self.metrics.record_timeout()
+                self.metrics.record_failure()
+            self._attach_timeout_trace(exc, trace)
+            raise
+        except Exception:
+            if record:
+                self.metrics.record_failure()
+            raise
+        if record:
+            self.metrics.record(
+                time.perf_counter() - start,
+                result.stats,
+                relation=relation_name,
+                access_path="aggregate",
+                codec=codecs[0],
+                backend=backend,
+            )
+        return result
+
+    def _pushdown_counts(
+        self,
+        relation: Relation,
+        bitmap,
+        by: str | None,
+        sources: dict,
+        stats: ExecutionStats,
+        options: QueryOptions,
+    ) -> tuple[int, dict | None]:
+        """Popcount the result bitmap — total, or split per group value."""
+        if by is None:
+            return int(bitmap.count()), None
+        by_source = sources[by]
+        dictionary = relation.column(by).dictionary
+        # NULL rows of ``by`` land in no group: both group_counts paths
+        # mask through the index's nonnull vector.
+        counts = group_counts(
+            by_source, bitmap, stats, algorithm=options.algorithm
+        )
+        groups: dict = {}
+        for code, matched in enumerate(counts.tolist()):
+            key = dictionary[code]
+            if isinstance(key, np.generic):
+                key = key.item()
+            groups[key] = matched
+        return int(counts.sum()), groups
+
+    def _verify_aggregate(
+        self,
+        relation: Relation,
+        expression: Expression,
+        by: str | None,
+        total: int,
+        groups: dict | None,
+    ) -> None:
+        """Opt-in ground-truth check of a pushed-down aggregate."""
+        mask = expression.mask(relation)
+        if by is None:
+            truth = int(np.count_nonzero(mask))
+            if total != truth:
+                raise VerificationError(
+                    f"count pushdown of '{expression}' returned {total}; "
+                    f"the scan found {truth}"
+                )
+            return
+        values = relation.column(by).values
+        for key, counted in (groups or {}).items():
+            truth = int(np.count_nonzero(mask & (values == key)))
+            if counted != truth:
+                raise VerificationError(
+                    f"group_count pushdown of '{expression}' returned "
+                    f"{counted} for {by}={key!r}; the scan found {truth}"
+                )
 
     @staticmethod
     def _attach_timeout_trace(

@@ -60,7 +60,7 @@ from repro.bitmaps.compressed import WahBitVector
 from repro.bitmaps.roaring import RoaringBitmap
 from repro.core.decomposition import Base
 from repro.core.encoding import EncodingScheme
-from repro.core.evaluation import Predicate, evaluate
+from repro.core.evaluation import Predicate, evaluate, group_counts
 from repro.core.index import BitmapIndex
 from repro.errors import (
     CorruptShardError,
@@ -79,6 +79,8 @@ from repro.query.expression import (
     In,
     Not,
     Or,
+    Threshold,
+    Xor,
     _count_op,
 )
 from repro.relation.relation import Relation
@@ -343,6 +345,19 @@ def translate_expression(expression: Expression, relation: Relation) -> Expressi
         return Or(
             translate_expression(expression.left, relation),
             translate_expression(expression.right, relation),
+        )
+    if isinstance(expression, Xor):
+        return Xor(
+            translate_expression(expression.left, relation),
+            translate_expression(expression.right, relation),
+        )
+    if isinstance(expression, Threshold):
+        return Threshold(
+            expression.k,
+            tuple(
+                translate_expression(operand, relation)
+                for operand in expression.operands
+            ),
         )
     if isinstance(expression, Not):
         return Not(translate_expression(expression.inner, relation))
@@ -880,10 +895,16 @@ def _run_shard_task(
 
     ``manifests`` maps ``(relation, attribute)`` to the shard's
     :class:`ShardManifest`; ``items`` is a list of
-    ``(qid, relation, payload)`` where ``payload`` is either
-    ``("pred", attribute, op, code)`` or ``("expr", attributes,
-    code_expression)``.  Returns ``(qid, local_rids, stat_tuple,
-    seconds)`` per item.
+    ``(qid, relation, payload)`` where ``payload`` is one of
+    ``("pred", attribute, op, code)``, ``("expr", attributes,
+    code_expression)``, ``("count", attributes, code_expression)``, or
+    ``("group", attributes, code_expression, by, cardinality)``.
+    Returns ``(qid, result, stat_tuple, seconds)`` per item, where
+    ``result`` is the local RID array for pred/expr payloads, the
+    shard's matching-row count (``int``) for count payloads, or the
+    per-code count array (length ``cardinality``) for group payloads —
+    aggregates never materialize RIDs, and their cross-shard merge is
+    plain summation rather than the offset union.
 
     ``faults`` carries plain-string directives decided *parent-side* by
     the engine's :class:`~repro.faults.FaultPlan` (the counters must not
@@ -918,6 +939,24 @@ def _run_shard_task(
                 algorithm=algorithm,
                 stats=stats,
             )
+            result = bitmap.indices()
+        elif payload[0] == "count":
+            _, attributes, expression = payload
+            leaf_sources = {
+                attribute: sources[(relation_name, attribute)]
+                for attribute in attributes
+            }
+            bitmap = expression.bitmap(None, leaf_sources, stats)
+            result = int(bitmap.count())
+        elif payload[0] == "group":
+            _, attributes, expression, by, cardinality = payload
+            leaf_sources = {
+                attribute: sources[(relation_name, attribute)]
+                for attribute in attributes
+            }
+            bitmap = expression.bitmap(None, leaf_sources, stats)
+            by_source = sources[(relation_name, by)]
+            result = group_counts(by_source, bitmap, stats, algorithm=algorithm)
         else:
             _, attributes, expression = payload
             leaf_sources = {
@@ -925,9 +964,9 @@ def _run_shard_task(
                 for attribute in attributes
             }
             bitmap = expression.bitmap(None, leaf_sources, stats)
-        rids = bitmap.indices()
+            result = bitmap.indices()
         elapsed = time.perf_counter() - started
-        out.append((qid, rids, _stats_to_tuple(stats), elapsed))
+        out.append((qid, result, _stats_to_tuple(stats), elapsed))
     return out
 
 
@@ -938,13 +977,21 @@ def _run_shard_task(
 
 @dataclass
 class ShardQueryOutcome:
-    """One query's merged cross-shard outcome, pre-metrics."""
+    """One query's merged cross-shard outcome, pre-metrics.
+
+    For aggregate payloads ``rids`` stays empty and ``aggregate``
+    carries the summed result: the total matching-row count (``int``)
+    for count payloads, the elementwise-summed per-code count array for
+    group payloads.  Shard row ranges are disjoint, so summation is the
+    exact cross-shard merge — no RID offset union is ever built.
+    """
 
     rids: np.ndarray
     stats: ExecutionStats
     shard_stats: list[ExecutionStats]
     shard_seconds: list[float]
     shard_rows: list[tuple[int, int]]
+    aggregate: "int | np.ndarray | None" = None
 
     @property
     def latency_seconds(self) -> float:
@@ -1079,13 +1126,23 @@ class ProcessShardExecutor:
             for manifest in any_export.manifests
         ]
         outcomes = []
-        for qid, _, _ in items:
-            results = sorted(per_query[qid])
+        for qid, _, payload in items:
+            results = sorted(per_query[qid], key=lambda row: row[0])
             shard_stats = [stats_from_tuple(t) for _, _, t, _ in results]
-            rids = merge_shard_rids(
-                [rids for _, rids, _, _ in results],
-                [bounds[shard][0] for shard, _, _, _ in results],
-            )
+            aggregate: int | np.ndarray | None = None
+            if payload[0] == "count":
+                aggregate = sum(int(value) for _, value, _, _ in results)
+                rids = np.empty(0, dtype=np.int64)
+            elif payload[0] == "group":
+                aggregate = np.sum(
+                    np.stack([counts for _, counts, _, _ in results]), axis=0
+                )
+                rids = np.empty(0, dtype=np.int64)
+            else:
+                rids = merge_shard_rids(
+                    [rids for _, rids, _, _ in results],
+                    [bounds[shard][0] for shard, _, _, _ in results],
+                )
             outcomes.append(
                 ShardQueryOutcome(
                     rids=rids,
@@ -1093,6 +1150,7 @@ class ProcessShardExecutor:
                     shard_stats=shard_stats,
                     shard_seconds=[seconds for _, _, _, seconds in results],
                     shard_rows=bounds,
+                    aggregate=aggregate,
                 )
             )
         return outcomes

@@ -17,7 +17,13 @@ from repro.query.plans import (
     ridlist_crossover_selectivity,
 )
 from repro.query.executor import AccessPath, QueryResult, execute
-from repro.query.expression import Expression, parse_expression, select
+from repro.query.expression import (
+    Expression,
+    Threshold,
+    Xor,
+    parse_expression,
+    select,
+)
 from repro.query.options import DEFAULT_OPTIONS, QueryOptions, normalize_query
 
 __all__ = [
@@ -25,6 +31,8 @@ __all__ = [
     "AttributePredicate",
     "DEFAULT_OPTIONS",
     "Expression",
+    "Threshold",
+    "Xor",
     "PlanCost",
     "QueryOptions",
     "QueryResult",

@@ -7,14 +7,20 @@ word operation per connective — which is much of their original appeal
 than merging RID-lists").  This module provides:
 
 - an expression tree (:class:`Comparison`, :class:`And`, :class:`Or`,
-  :class:`Not`, :class:`In`, :class:`Between`) whose nodes evaluate to
-  bitmaps through per-attribute bitmap indexes;
+  :class:`Xor`, :class:`Not`, :class:`In`, :class:`Between`,
+  :class:`Threshold`) whose nodes evaluate to bitmaps through
+  per-attribute bitmap indexes;
 - a small recursive-descent parser for the textual form, e.g.
-  ``"quantity <= 25 and (region = 3 or region = 7) and not flagged = 1"``;
+  ``"quantity <= 25 and (region = 3 or region = 7) and not flagged = 1"``
+  or ``"atleast(2, region = 3, quantity > 10, flagged = 1)"``;
 - ground-truth evaluation over raw columns for verification.
 
 ``IN`` lists become ORs of equality bitmaps; ``BETWEEN`` becomes two
 range predicates — both evaluated entirely inside the index.
+``ATLEAST(k, e1, …, eN)`` — the k-of-N threshold of Kaser & Lemire's
+"beyond unions and intersections" — evaluates through each codec's
+native compressed-domain counting kernel
+(:func:`repro.core.evaluation.threshold_all`).
 """
 
 from __future__ import annotations
@@ -25,7 +31,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.bitmaps.bitvector import BitVector
-from repro.core.evaluation import OPERATORS, Predicate, evaluate
+from repro.core.evaluation import OPERATORS, Predicate, evaluate, threshold_all
 from repro.core.index import BitmapSource
 from repro.errors import InvalidPredicateError
 from repro.query.options import VERIFYING_OPTIONS, QueryOptions
@@ -60,6 +66,9 @@ class Expression:
     def __or__(self, other: "Expression") -> "Expression":
         return Or(self, other)
 
+    def __xor__(self, other: "Expression") -> "Expression":
+        return Xor(self, other)
+
     def __invert__(self) -> "Expression":
         return Not(self)
 
@@ -85,6 +94,8 @@ def _count_op(stats: ExecutionStats | None, op: str) -> None:
         stats.ands += 1
     elif op == "or":
         stats.ors += 1
+    elif op == "xor":
+        stats.xors += 1
     else:
         stats.nots += 1
     if stats.trace is not None:
@@ -241,6 +252,82 @@ class Or(Expression):
 
 
 @dataclass(frozen=True)
+class Xor(Expression):
+    """Symmetric difference: rows matching exactly one side.
+
+    Evaluates as one compressed-domain XOR per codec — equivalent to
+    ``(left OR right) ANDNOT (left AND right)`` but a single operation.
+    """
+
+    left: Expression
+    right: Expression
+
+    def bitmap(self, relation, indexes, stats=None):
+        a = self.left.bitmap(relation, indexes, stats)
+        b = self.right.bitmap(relation, indexes, stats)
+        _count_op(stats, "xor")
+        return a ^ b
+
+    def mask(self, relation):
+        return self.left.mask(relation) ^ self.right.mask(relation)
+
+    def attributes(self):
+        return self.left.attributes() | self.right.attributes()
+
+    def __str__(self):
+        return f"({self.left} xor {self.right})"
+
+
+@dataclass(frozen=True)
+class Threshold(Expression):
+    """k-of-N threshold ``ATLEAST(k, e1, …, eN)``.
+
+    Matches the rows satisfying at least ``k`` of the operand
+    expressions — ``k = 1`` is the N-way OR, ``k = N`` the N-way AND, and
+    intermediate ``k`` the "match at least k criteria" query class the
+    folds cannot express.  Out-of-range thresholds are legal and clamp:
+    ``k <= 0`` matches every row, ``k > N`` matches none.  Operand
+    bitmaps combine through the codec's native k-way counting kernel
+    (:func:`repro.core.evaluation.threshold_all`), never materializing
+    row-granularity intermediates.
+    """
+
+    k: int
+    operands: tuple[Expression, ...]
+
+    def __post_init__(self):
+        if not isinstance(self.k, int) or isinstance(self.k, bool):
+            raise InvalidPredicateError(
+                f"threshold k must be an integer, got {self.k!r}"
+            )
+        if not self.operands:
+            raise InvalidPredicateError(
+                "threshold needs at least one operand expression"
+            )
+
+    def bitmap(self, relation, indexes, stats=None):
+        vectors = [e.bitmap(relation, indexes, stats) for e in self.operands]
+        counted = stats if stats is not None else ExecutionStats()
+        return threshold_all(vectors, self.k, counted)
+
+    def mask(self, relation):
+        counts = np.zeros(relation.num_rows, dtype=np.int64)
+        for operand in self.operands:
+            counts += operand.mask(relation)
+        return counts >= self.k
+
+    def attributes(self):
+        out: set[str] = set()
+        for operand in self.operands:
+            out |= operand.attributes()
+        return out
+
+    def __str__(self):
+        inner = ", ".join(str(e) for e in self.operands)
+        return f"atleast({self.k}, {inner})"
+
+
+@dataclass(frozen=True)
 class Not(Expression):
     inner: Expression
 
@@ -270,7 +357,11 @@ _TOKEN = re.compile(
     r"|(?P<number>-?\d+\.?\d*))"
 )
 
-_KEYWORDS = {"and", "or", "not", "in", "between"}
+_KEYWORDS = {"and", "or", "xor", "not", "in", "between"}
+
+#: Function-style leaf names, matched contextually (only when followed by
+#: an opening parenthesis) so columns with these names keep working.
+_THRESHOLD_NAMES = {"atleast", "threshold"}
 
 
 def _tokenize(text: str) -> list[tuple[str, str]]:
@@ -323,10 +414,17 @@ class _Parser:
         return expr
 
     def _or(self) -> Expression:
-        left = self._and()
+        left = self._xor()
         while self._peek() == "or":
             self._take("or")
-            left = Or(left, self._and())
+            left = Or(left, self._xor())
+        return left
+
+    def _xor(self) -> Expression:
+        left = self._and()
+        while self._peek() == "xor":
+            self._take("xor")
+            left = Xor(left, self._and())
         return left
 
     def _and(self) -> Expression:
@@ -350,6 +448,8 @@ class _Parser:
             return expr
         _, attribute = self._take("word")
         kind = self._peek()
+        if attribute.lower() in _THRESHOLD_NAMES and kind == "lparen":
+            return self._threshold(attribute)
         if kind == "op":
             _, op = self._take("op")
             return Comparison(attribute, op, self._value())
@@ -371,6 +471,26 @@ class _Parser:
             f"expected an operator after {attribute!r}"
         )
 
+    def _threshold(self, name: str) -> Expression:
+        """``atleast(k, expr, expr, …)`` — parsed after its name token."""
+        self._take("lparen")
+        kind, text = self._take()
+        if kind != "number" or "." in text:
+            raise InvalidPredicateError(
+                f"{name} needs an integer threshold, found {text!r}"
+            )
+        k = int(text)
+        operands: list[Expression] = []
+        while self._peek() == "comma":
+            self._take("comma")
+            operands.append(self._or())
+        self._take("rparen")
+        if not operands:
+            raise InvalidPredicateError(
+                f"{name}({k}, …) needs at least one operand expression"
+            )
+        return Threshold(k, tuple(operands))
+
     def _value(self):
         kind, text = self._take()
         if kind == "number":
@@ -385,13 +505,19 @@ def parse_expression(text: str) -> Expression:
 
     Grammar (case-insensitive keywords)::
 
-        or-expr   := and-expr ("or" and-expr)*
+        or-expr   := xor-expr ("or" xor-expr)*
+        xor-expr  := and-expr ("xor" and-expr)*
         and-expr  := not-expr ("and" not-expr)*
         not-expr  := "not" not-expr | leaf
         leaf      := "(" or-expr ")"
+                   | ("atleast" | "threshold") "(" int ("," or-expr)+ ")"
                    | attr op value
                    | attr "in" "(" value ("," value)* ")"
                    | attr "between" value "and" value
+
+    ``atleast``/``threshold`` are matched contextually (only when
+    directly followed by ``(``), so attributes with those names still
+    parse as comparison leaves.
     """
     if not text.strip():
         raise InvalidPredicateError("empty expression")

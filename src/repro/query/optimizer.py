@@ -104,6 +104,79 @@ def estimate_selectivity(
     return qualifying / c
 
 
+def estimate_expression_selectivity(
+    relation: Relation,
+    expression,
+    catalog: "Catalog | None" = None,
+) -> float:
+    """Estimated qualifying fraction of a boolean expression tree.
+
+    Recurses with the textbook independence assumptions: AND multiplies,
+    OR is inclusion–exclusion (``s1 + s2 - s1*s2``), NOT complements,
+    XOR is ``s1 + s2 - 2*s1*s2``.  A :class:`~repro.query.expression.Threshold`
+    node is the tail of a Poisson-binomial: with independent operand
+    selectivities ``p_i``, the chance at least ``k`` of ``N`` hold is
+    computed exactly by the standard O(N^2) dynamic program over the
+    count distribution.  Leaves defer to :func:`estimate_selectivity`
+    (histogram-refined when the catalog has one).
+    """
+    from repro.query.expression import (
+        And,
+        Between,
+        Comparison,
+        In,
+        Not,
+        Or,
+        Threshold,
+        Xor,
+    )
+
+    def leaf(attribute: str, op: str, value) -> float:
+        return estimate_selectivity(
+            relation, AttributePredicate(attribute, op, value), catalog
+        )
+
+    def walk(node) -> float:
+        if isinstance(node, Comparison):
+            return leaf(node.attribute, node.op, node.value)
+        if isinstance(node, In):
+            union = sum(leaf(node.attribute, "=", v) for v in node.values)
+            return min(union, 1.0)
+        if isinstance(node, Between):
+            s = leaf(node.attribute, ">=", node.low) + leaf(
+                node.attribute, "<=", node.high
+            )
+            return min(max(s - 1.0, 0.0), 1.0)
+        if isinstance(node, And):
+            return walk(node.left) * walk(node.right)
+        if isinstance(node, Or):
+            s1, s2 = walk(node.left), walk(node.right)
+            return s1 + s2 - s1 * s2
+        if isinstance(node, Xor):
+            s1, s2 = walk(node.left), walk(node.right)
+            return s1 + s2 - 2.0 * s1 * s2
+        if isinstance(node, Not):
+            return 1.0 - walk(node.inner)
+        if isinstance(node, Threshold):
+            probs = [walk(operand) for operand in node.operands]
+            if node.k <= 0:
+                return 1.0
+            if node.k > len(probs):
+                return 0.0
+            # Poisson-binomial DP: dist[j] = P(exactly j operands hold).
+            dist = np.zeros(len(probs) + 1)
+            dist[0] = 1.0
+            for p in probs:
+                dist[1:] = dist[1:] * (1.0 - p) + dist[:-1] * p
+                dist[0] *= 1.0 - p
+            return float(dist[node.k :].sum())
+        raise InvalidPredicateError(
+            f"cannot estimate selectivity of {type(node).__name__}"
+        )
+
+    return min(max(walk(expression), 0.0), 1.0)
+
+
 def _bitmap_predicate_bytes(
     relation: Relation, predicate: AttributePredicate, index: BitmapSource
 ) -> int:

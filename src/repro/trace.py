@@ -267,11 +267,14 @@ def predicted_leaf_costs(
         elif isinstance(node, Between):
             leaf(node.attribute, ">=", node.low)
             leaf(node.attribute, "<=", node.high)
-        elif hasattr(node, "left") and hasattr(node, "right"):  # And / Or
+        elif hasattr(node, "left") and hasattr(node, "right"):  # And / Or / Xor
             walk(node.left)
             walk(node.right)
         elif hasattr(node, "inner"):  # Not
             walk(node.inner)
+        elif hasattr(node, "operands"):  # Threshold
+            for operand in node.operands:
+                walk(operand)
         else:
             raise InvalidPredicateError(
                 f"cannot predict cost for query node {node!r}"

@@ -26,7 +26,11 @@ from repro.core.evaluation import (
     range_eval,
     range_eval_opt,
 )
+from repro.core.evaluation import threshold_all
 from repro.core.index import BitmapIndex
+from repro.engine import QueryEngine
+from repro.query.expression import parse_expression
+from repro.relation.relation import Relation
 from repro.stats import ExecutionStats
 from repro.storage.disk import SimulatedDisk
 from repro.storage.schemes import open_scheme, write_index
@@ -353,3 +357,178 @@ def test_skewed_distributions(cardinality):
             predicate = Predicate(op, hot)
             got = evaluate(index, predicate)
             assert np.array_equal(got.to_bools(), predicate.matches(values))
+
+
+# ---------------------------------------------------------------------------
+# XOR / threshold / aggregate differential
+# ---------------------------------------------------------------------------
+
+
+def _assert_connectives_three_way(index: BitmapIndex, label: str) -> None:
+    """XOR and k-of-N thresholds stay three-way identical over an index.
+
+    Operands are equality bitmaps of distinct values fetched through each
+    codec's own source; the oracle counts the dense operands' booleans.
+    Charged op counts must also match across codecs (XOR charges one
+    ``xor``, a non-trivial threshold charges ``N - 1`` ``or``s, both
+    data-independent).
+    """
+    sources = _three_way_sources(index)
+    operand_values = [0, 3, 7, 11]
+    for codec, source in sources.items():
+        operands = [
+            evaluate(source, Predicate("=", v)) for v in operand_values
+        ]
+        dense_ops = [
+            evaluate(sources["dense"], Predicate("=", v))
+            for v in operand_values
+        ]
+        counts = np.sum([o.to_bools() for o in dense_ops], axis=0)
+
+        xor_stats = ExecutionStats()
+        xor_stats.xors += 1
+        got = operands[0] ^ operands[1]
+        want = dense_ops[0].to_bools() ^ dense_ops[1].to_bools()
+        assert np.array_equal(got.to_bools(), want), f"{label}: {codec} xor"
+        assert xor_stats.xors == 1
+
+        for k in (0, 1, 2, len(operands), len(operands) + 2):
+            stats = ExecutionStats()
+            result = threshold_all(list(operands), k, stats)
+            assert np.array_equal(result.to_bools(), counts >= k), (
+                f"{label}: {codec} threshold k={k} diverges"
+            )
+            expected_ors = (
+                len(operands) - 1 if 0 < k <= len(operands) else 0
+            )
+            assert stats.ors == expected_ors, (
+                f"{label}: {codec} threshold k={k} charged {stats.ors} ors"
+            )
+
+
+@pytest.mark.parametrize("encoding", ENCODINGS)
+def test_threshold_xor_three_way_after_maintenance(encoding):
+    """XOR/threshold kernels survive append/update/delete identically.
+
+    Maintenance invalidates each codec's memoized bitmaps; the k-way
+    threshold kernels then re-encode from the maintained truth — any
+    stale or mis-merged container diverges from the dense counting
+    oracle here.
+    """
+    cardinality = 24
+    values = uniform_values(NUM_ROWS, cardinality, seed=47)
+    index = BitmapIndex(
+        values, cardinality, base=Base((5, 5)), encoding=encoding
+    )
+    rng = np.random.default_rng(53)
+    _assert_connectives_three_way(index, f"pre-maintenance/{encoding.value}")
+
+    index.append(rng.integers(0, cardinality, 50))
+    _assert_connectives_three_way(index, f"post-append/{encoding.value}")
+
+    for rid in (0, 5, NUM_ROWS + 10):
+        index.update(rid, int(rng.integers(0, cardinality)))
+    _assert_connectives_three_way(index, f"post-update/{encoding.value}")
+
+    for rid in (1, 17, NUM_ROWS + 3):
+        index.delete(rid)
+    _assert_connectives_three_way(index, f"post-delete/{encoding.value}")
+
+
+def _aggregate_fixture():
+    rng = np.random.default_rng(59)
+    n = 3000
+    return Relation.from_dict(
+        "sales",
+        {
+            "region": rng.integers(0, 5, n),
+            "status": rng.integers(0, 3, n),
+            "qty": rng.integers(0, 40, n),
+        },
+    )
+
+
+AGG_EXPRS = [
+    "region = 1 xor status = 2",
+    "atleast(2, region = 1, status = 0, qty <= 20)",
+    "atleast(1, region = 4, qty > 35)",
+    "not (region = 0) and atleast(2, status = 1, qty < 10, region >= 3)",
+]
+
+
+@pytest.mark.parametrize("codec", ["dense", "wah", "roaring"])
+def test_aggregate_counts_shard_invariant(codec):
+    """count/group_count are identical across shard counts 1/2/7 vs inline.
+
+    Shards return local popcounts and the merge is a summation; the
+    merged logical op counts (shard 0's, by the stats-merge contract)
+    must equal the inline run's — threshold/XOR charges are
+    data-independent, so sharding cannot change them.
+    """
+    relation = _aggregate_fixture()
+    with QueryEngine(codec=codec, backend="inline") as inline:
+        inline.register(relation)
+        want = {}
+        for text in AGG_EXPRS:
+            result = inline.count(text)
+            groups = inline.group_count(text, "status")
+            want[text] = (
+                result.count,
+                groups.groups,
+                (result.stats.ors, result.stats.xors, result.stats.nots),
+            )
+            # The pushdown agrees with the RID-materializing path.
+            assert result.count == len(inline.query(text).rids)
+    for shards in (1, 2, 7):
+        with QueryEngine(
+            codec=codec, backend="processes", shards=shards
+        ) as engine:
+            engine.register(relation)
+            for text in AGG_EXPRS:
+                count, groups, logical_ops = want[text]
+                got = engine.count(text)
+                assert got.count == count, f"shards={shards}: {text}"
+                got_groups = engine.group_count(text, "status")
+                assert got_groups.groups == groups, f"shards={shards}: {text}"
+                assert (
+                    got.stats.ors,
+                    got.stats.xors,
+                    got.stats.nots,
+                ) == logical_ops, f"shards={shards}: {text} op counts diverge"
+
+
+def test_aggregates_track_maintained_values():
+    """count/group_count stay truthful as the underlying rows churn.
+
+    Simulated maintenance — append, update, delete — rebuilds the served
+    relation each step; the pushed-down counts must match a numpy
+    recount of the current rows every time.
+    """
+    rng = np.random.default_rng(61)
+    region = rng.integers(0, 5, 500)
+    qty = rng.integers(0, 40, 500)
+
+    def check():
+        relation = Relation.from_dict(
+            "t", {"region": region, "qty": qty}
+        )
+        with QueryEngine(codec="roaring") as engine:
+            engine.register(relation)
+            for text in ("region = 2 xor qty > 30", "atleast(2, region <= 1, qty < 20)"):
+                mask = parse_expression(text).mask(relation)
+                assert engine.count(text).count == int(mask.sum()), text
+                groups = engine.group_count(text, "region").groups
+                for value, counted in groups.items():
+                    assert counted == int((mask & (region == value)).sum())
+
+    check()
+    region = np.concatenate([region, rng.integers(0, 5, 80)])  # append
+    qty = np.concatenate([qty, rng.integers(0, 40, 80)])
+    check()
+    region[[0, 17, 300]] = [4, 0, 2]  # update in place
+    qty[[5, 99]] = [39, 0]
+    check()
+    keep = np.ones(len(region), dtype=bool)  # delete rows
+    keep[[3, 250, 410]] = False
+    region, qty = region[keep], qty[keep]
+    check()
